@@ -1,0 +1,83 @@
+"""The paper's closing future-work direction, §7: "model architectures
+that reduce global AlltoAll communication for better scaling efficiency".
+
+This bench runs that exploration with the co-design toolkit: three model
+families with the SAME parameter count and the SAME per-sample FLOPs but
+different table geometry, evaluated at 128 GPUs —
+
+1. many narrow tables (A2-like),
+2. fewer, wider tables (same sum of dims — identical AlltoAll payload,
+   different balance granularity),
+3. fewer, *taller* tables (smaller sum of dims — the AlltoAll-reducing
+   architecture the conclusion hints at).
+
+The third family trades embedding-dim width for rows, shrinking the
+pooled AlltoAll payload and buying back scaling efficiency — quantifying
+the paper's suggestion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.embedding import EmbeddingTableConfig
+from repro.models.zoo import ModelSpec
+from repro.perf import (TrainingSetup, latency_breakdown, qps,
+                        weak_scaling_curve)
+
+TOTAL_PARAMS = 100e9
+TOTAL_POOLING = 2000.0  # sum of L across tables (fixed lookup traffic)
+MLP = tuple([2048] * 16)
+
+
+def family(name, num_tables, dim):
+    rows = int(TOTAL_PARAMS / (num_tables * dim))
+    pooling = TOTAL_POOLING / num_tables
+    tables = tuple(
+        EmbeddingTableConfig(f"{name}_t{i}", rows, dim,
+                             avg_pooling=pooling)
+        for i in range(num_tables))
+    return ModelSpec(name=name, tables=tables, dense_dim=MLP[0],
+                     mlp_layer_sizes=MLP, declared_mflops_per_sample=0)
+
+
+def evaluate():
+    topo = PROTOTYPE_TOPOLOGY(16)
+    specs = [
+        ("many narrow (800 x D64)", family("narrow", 800, 64)),
+        ("few wide (200 x D256)", family("wide", 200, 256)),
+        ("few tall (200 x D64, 4x rows)", family("tall", 200, 64)),
+    ]
+    rows = []
+    for label, spec in specs:
+        setup = TrainingSetup(spec=spec, topology=topo,
+                              global_batch=65536, load_imbalance=1.15)
+        b = latency_breakdown(setup)
+        exposed_a2a = b.exposed["alltoall_fwd"] + b.exposed["alltoall_bwd"]
+        base = TrainingSetup(spec=spec, topology=PROTOTYPE_TOPOLOGY(1),
+                             global_batch=512 * 8, load_imbalance=1.15)
+        curve = weak_scaling_curve(base, [1, 16])
+        eff = curve[16] / (16 * curve[1])
+        sum_d = sum(t.embedding_dim for t in spec.tables)
+        rows.append((label, sum_d, f"{exposed_a2a * 1e3:.1f} ms",
+                     f"{qps(setup) / 1e3:.0f}K", f"{eff:.0%}"))
+    return rows
+
+
+def test_comms_aware_model_design(benchmark, report):
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    report("Section 7 future work: AlltoAll-reducing architectures "
+           "(equal params, equal lookup traffic, 128 GPUs)",
+           ["family", "sum of dims", "exposed AlltoAll", "QPS",
+            "scaling eff"], rows)
+    by_label = {r[0]: r for r in rows}
+    narrow = by_label["many narrow (800 x D64)"]
+    wide = by_label["few wide (200 x D256)"]
+    tall = by_label["few tall (200 x D64, 4x rows)"]
+    # same sum of dims -> same AlltoAll exposure (geometry alone no help)
+    assert wide[1] == narrow[1]
+    # smaller sum of dims -> less exposed AlltoAll, more QPS, better eff
+    assert tall[1] < narrow[1]
+    assert float(tall[2].rstrip(" ms")) < float(narrow[2].rstrip(" ms"))
+    assert float(tall[3].rstrip("K")) > float(narrow[3].rstrip("K"))
+    assert float(tall[4].rstrip("%")) >= float(narrow[4].rstrip("%"))

@@ -1,0 +1,46 @@
+"""Section 4.2.4: the data-parallel vs table-wise crossover.
+
+"Small embedding tables with fewer rows are good candidates for
+data-parallel sharding" — this bench computes *where* small ends: the
+break-even row count per (embedding dim, pooling size) family, and checks
+the crossover moves the way the cost trade-off says it must (heavier
+pooling or wider pooled outputs make TW's AlltoAll dearer, extending DP's
+winning range; bigger tables make DP's AllReduce dearer, shrinking it).
+"""
+
+import pytest
+
+from repro.perf import crossover_sweep, dp_vs_tw_cost, find_dp_crossover
+from repro.sharding import CostModelParams
+
+PARAMS = CostModelParams(global_batch=65536, world_size=128)
+DIMS = [16, 64, 256]
+POOLINGS = [2.0, 20.0, 50.0]
+
+
+def sweep():
+    return crossover_sweep(DIMS, POOLINGS, PARAMS)
+
+
+def test_dp_crossover_table(benchmark, report):
+    points = benchmark(sweep)
+    rows = [(p.embedding_dim, f"{p.avg_pooling:.0f}",
+             f"{p.crossover_rows:,}",
+             f"{p.dp_cost_at_crossover * 1e6:.1f} us",
+             f"{p.tw_cost_at_crossover * 1e6:.1f} us")
+            for p in points]
+    report("Section 4.2.4: DP-vs-TW crossover (largest H where DP wins)",
+           ["dim", "pooling L", "crossover rows", "DP cost", "TW cost"],
+           rows)
+    by_key = {(p.embedding_dim, p.avg_pooling): p for p in points}
+    # heavier pooling extends DP's range at fixed dim
+    for d in DIMS:
+        assert by_key[(d, 50.0)].crossover_rows >= \
+            by_key[(d, 2.0)].crossover_rows
+    # every crossover is exact: one row past it, DP loses
+    sample = by_key[(64, 20.0)]
+    dp, tw = dp_vs_tw_cost(sample.crossover_rows + 1, 64, 20.0, PARAMS)
+    assert dp >= tw
+    # and the paper's qualitative statement holds: the DP regime is the
+    # small-table regime (well under the multi-billion-row monsters)
+    assert all(p.crossover_rows < 10 ** 8 for p in points)

@@ -1,0 +1,64 @@
+"""Fig. 11: weak-scaling of training throughput for models A1/A2/A3,
+1 to 16 nodes, fixed per-GPU batch, normalized to 8 GPUs (1 node).
+
+Paper result: ~50% scaling efficiency at 128 GPUs for A2, ~40% for A1
+(load imbalance: few tables) and A3 (wider dims, heavier AlltoAll).
+"""
+
+import pytest
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.models import full_spec
+from repro.perf import TrainingSetup, plan_imbalance, weak_scaling_curve
+from repro.sharding import (CostModelParams, EmbeddingShardingPlanner,
+                            PlannerConfig, plan_cost_per_rank)
+
+NODE_COUNTS = [1, 2, 4, 8, 16]
+PAPER_EFFICIENCY_128 = {"A1": 0.40, "A2": 0.50, "A3": 0.40}
+PER_GPU_BATCH = 512
+
+
+def imbalance_for(spec, world):
+    params = CostModelParams(global_batch=PER_GPU_BATCH * world,
+                             world_size=world)
+    planner = EmbeddingShardingPlanner(
+        PlannerConfig(world_size=world, ranks_per_node=8,
+                      partitioner="ldm"), cost_params=params)
+    plan = planner.plan(list(spec.tables))
+    return plan_imbalance(plan_cost_per_rank(plan, params))
+
+
+def scaling_table():
+    out = {}
+    for name in ("A1", "A2", "A3"):
+        spec = full_spec(name)
+        setup = TrainingSetup(
+            spec=spec, topology=PROTOTYPE_TOPOLOGY(1),
+            global_batch=PER_GPU_BATCH * 8,
+            load_imbalance=imbalance_for(spec, 128))
+        out[name] = weak_scaling_curve(setup, NODE_COUNTS)
+    return out
+
+
+def test_fig11_scaling(benchmark, report):
+    curves = benchmark.pedantic(scaling_table, rounds=1, iterations=1)
+    rows = []
+    for name, curve in curves.items():
+        base = curve[1]
+        for n in NODE_COUNTS:
+            eff = curve[n] / (n * base)
+            rows.append((name, n * 8, f"{curve[n] / base:.2f}x",
+                         f"{eff:.0%}"))
+    report("Fig 11: weak-scaling relative throughput (vs 8 GPUs)",
+           ["model", "gpus", "rel throughput", "efficiency"], rows)
+    for name, curve in curves.items():
+        values = [curve[n] for n in NODE_COUNTS]
+        # throughput grows monotonically with nodes
+        assert all(a < b for a, b in zip(values, values[1:])), name
+        # but sublinearly: efficiency at 16 nodes in the paper's band
+        eff = curve[16] / (16 * curve[1])
+        assert 0.25 < eff < 0.85, (name, eff)
+    # A2 scales at least as well as A3 (wider dims hurt A3)
+    eff = {name: curve[16] / (16 * curve[1])
+           for name, curve in curves.items()}
+    assert eff["A2"] >= eff["A3"] * 0.95

@@ -1,0 +1,65 @@
+"""Fig. 12: serialized vs exposed per-operator latency for model A2
+(local batch 512 per GPU), 1 to 16 nodes.
+
+Paper observations this bench must reproduce:
+* HtoD is completely hidden;
+* exposed comms < serialized AlltoAll + AllReduce combined (overlap);
+* AlltoAll latency grows with node count and is mostly exposed;
+* AllReduce is mostly hidden up to 16 nodes.
+"""
+
+import pytest
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.models import full_spec
+from repro.perf import TrainingSetup, latency_breakdown
+
+NODE_COUNTS = [1, 2, 4, 8, 16]
+PER_GPU_BATCH = 512
+
+
+def breakdowns():
+    spec = full_spec("A2")
+    out = {}
+    for n in NODE_COUNTS:
+        topo = PROTOTYPE_TOPOLOGY(n)
+        setup = TrainingSetup(spec=spec, topology=topo,
+                              global_batch=PER_GPU_BATCH * topo.world_size,
+                              load_imbalance=1.15)
+        out[n] = latency_breakdown(setup)
+    return out
+
+
+def test_fig12_breakdown(benchmark, report):
+    out = benchmark.pedantic(breakdowns, rounds=1, iterations=1)
+    rows = []
+    for n, b in out.items():
+        a2a_ser = b.serialized["alltoall_fwd"] + b.serialized["alltoall_bwd"]
+        a2a_exp = b.exposed["alltoall_fwd"] + b.exposed["alltoall_bwd"]
+        rows.append((n * 8,
+                     f"{b.total * 1e3:.1f}",
+                     f"{a2a_ser * 1e3:.1f}", f"{a2a_exp * 1e3:.1f}",
+                     f"{b.serialized['allreduce'] * 1e3:.1f}",
+                     f"{b.exposed['allreduce'] * 1e3:.1f}",
+                     f"{b.serialized['h2d'] * 1e3:.1f}",
+                     f"{b.exposed['h2d'] * 1e3:.1f}"))
+    report("Fig 12: A2 per-iteration latency breakdown (ms)",
+           ["gpus", "total", "a2a ser", "a2a exp", "ar ser", "ar exp",
+            "h2d ser", "h2d exp"], rows)
+
+    for n, b in out.items():
+        # HtoD completely hidden
+        assert b.exposed["h2d"] == 0.0
+        # exposed comms strictly less than serialized comms (overlap works)
+        ser_comms = (b.serialized["alltoall_fwd"]
+                     + b.serialized["alltoall_bwd"]
+                     + b.serialized["allreduce"]
+                     + b.serialized["input_alltoall"])
+        assert b.exposed_comms < ser_comms
+    # AlltoAll cost grows with node count and is mostly exposed at 16 nodes
+    a2a = {n: out[n].serialized["alltoall_fwd"] for n in NODE_COUNTS}
+    assert a2a[16] > a2a[2] > a2a[1] * 0.99
+    b16 = out[16]
+    assert b16.exposed["alltoall_fwd"] > 0.8 * b16.serialized["alltoall_fwd"]
+    # AllReduce mostly hidden up to 16 nodes
+    assert b16.exposed["allreduce"] < 0.3 * b16.serialized["allreduce"]

@@ -1,0 +1,48 @@
+"""Figs. 14-15: GEMM performance (TF/s) across problem sizes and
+precisions on V100 and A100 (Appendix A).
+
+Shape requirements: TF/s grows with size and saturates at the measured
+efficiency ceilings; precision ladders stack V100 FP32 < A100 FP32 <
+A100 TF32 < V100 FP16 < A100 FP16/BF16 at large sizes.
+"""
+
+import pytest
+
+from repro.perf import A100, V100, gemm_tflops
+
+SIZES = [256, 512, 1024, 2048, 4096, 8192]
+
+
+def gemm_table():
+    rows = []
+    for n in SIZES:
+        rows.append((
+            n,
+            round(gemm_tflops(n, n, n, V100, "fp32"), 1),
+            round(gemm_tflops(n, n, n, A100, "fp32"), 1),
+            round(gemm_tflops(n, n, n, A100, "tf32"), 1),
+            round(gemm_tflops(n, n, n, V100, "fp16"), 1),
+            round(gemm_tflops(n, n, n, A100, "fp16"), 1),
+            round(gemm_tflops(n, n, n, A100, "bf16"), 1),
+        ))
+    return rows
+
+
+def test_fig14_15_gemm(benchmark, report):
+    rows = benchmark(gemm_table)
+    report("Figs 14-15: square GEMM TF/s",
+           ["N", "V100 fp32", "A100 fp32", "A100 tf32", "V100 fp16",
+            "A100 fp16", "A100 bf16"], rows)
+    # monotone growth with size, per column
+    for col in range(1, 7):
+        series = [r[col] for r in rows]
+        assert all(a <= b * 1.001 for a, b in zip(series, series[1:]))
+    largest = rows[-1]
+    # saturation near the paper's ceilings
+    assert largest[1] == pytest.approx(15.7 * 0.786, rel=0.1)   # V100 fp32
+    assert largest[3] == pytest.approx(156 * 0.705, rel=0.15)   # A100 tf32
+    # precision ladder at large size
+    assert largest[1] < largest[2] < largest[3] < largest[5]
+    assert largest[4] > largest[1] * 3  # tensor cores >> fp32 CUDA cores
+    # bf16 ~ fp16 on A100
+    assert largest[6] == pytest.approx(largest[5], rel=0.05)

@@ -1,0 +1,62 @@
+"""Figs. 16-17: the Appendix A MLP benchmark — 20 layers of 1K/2K/4K
+square weights, batch 128..4096, forward+backward+SGD, per precision.
+
+This bench also times the *real* numpy MLP from repro.nn on a scaled-down
+version of the same shapes, demonstrating the functional substrate, while
+the model projects the V100/A100 numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.perf import A100, V100, mlp_benchmark
+
+BATCHES = [128, 256, 512, 1024, 2048, 4096]
+WIDTHS = [1024, 2048, 4096]
+
+
+def model_table():
+    rows = []
+    for width in WIDTHS:
+        for batch in BATCHES:
+            v = mlp_benchmark(batch, width, 20, V100, "fp32")
+            a = mlp_benchmark(batch, width, 20, A100, "tf32")
+            rows.append((width, batch,
+                         round(v.achieved_tflops, 1),
+                         round(a.achieved_tflops, 1)))
+    return rows
+
+
+def test_fig16_17_mlp_model(benchmark, report):
+    rows = benchmark(model_table)
+    report("Figs 16-17: 20-layer MLP achieved TF/s (fwd+bwd)",
+           ["width", "batch", "V100 fp32", "A100 tf32"], rows)
+    by_width = {}
+    for width, batch, v100, a100 in rows:
+        by_width.setdefault(width, []).append((batch, v100, a100))
+    for width, series in by_width.items():
+        v_series = [v for _, v, _ in series]
+        # efficiency grows with batch size (the Fig 16/17 x-axis trend)
+        assert all(a <= b * 1.001 for a, b in zip(v_series, v_series[1:]))
+    # A100 TF32 beats V100 FP32 everywhere
+    assert all(a100 > v100 for _, _, v100, a100 in rows)
+    # V100 never exceeds its ceiling
+    assert max(v for _, _, v, _ in rows) <= 15.7 * 0.786 * 1.01
+
+
+def test_real_numpy_mlp_wallclock(benchmark):
+    """Time an actual forward+backward through the numpy substrate (a
+    scaled-down instance of the Appendix A benchmark)."""
+    rng = np.random.default_rng(0)
+    mlp = nn.MLP([256] * 6, rng=rng)
+    x = rng.normal(size=(256, 256)).astype(np.float32)
+
+    def step():
+        y = mlp.forward(x)
+        mlp.zero_grad()
+        mlp.backward(y)
+        return y
+
+    y = benchmark(step)
+    assert y.shape == (256, 256)

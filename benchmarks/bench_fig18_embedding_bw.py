@@ -1,0 +1,72 @@
+"""Figs. 18-19: embedding lookup bandwidth, forward and backward+optimizer,
+FP32 vs FP16, V100 vs A100 (Appendix A).
+
+Appendix A configuration: 64 tables, 1M rows, D=128, pooling 32. The model
+reports achieved GB/s per configuration; the real numpy fused operator is
+also timed on a scaled-down instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (EmbeddingTableConfig, FusedEmbeddingCollection,
+                             SparseSGD, lengths_to_offsets)
+from repro.perf import (A100, V100, embedding_achieved_bw,
+                        embedding_lookup_time, embedding_update_time)
+
+NNZ = 64 * 4096 * 32  # 64 tables, batch 4096, pooling 32
+DIM = 128
+
+
+def model_table():
+    rows = []
+    for device in (V100, A100):
+        for precision in ("fp32", "fp16"):
+            fwd_t = embedding_lookup_time(NNZ, DIM, device, precision)
+            bwd_t = embedding_update_time(NNZ, DIM, device, precision)
+            elem = 4 if precision == "fp32" else 2
+            fwd_bw = NNZ * DIM * elem / fwd_t
+            bwd_bw = 2 * NNZ * DIM * elem / bwd_t
+            rows.append((device.name, precision,
+                         round(fwd_bw / 1e9), round(bwd_bw / 1e9)))
+    return rows
+
+
+def test_fig18_19_model(benchmark, report):
+    rows = benchmark(model_table)
+    report("Figs 18-19: embedding op achieved bandwidth (GB/s)",
+           ["device", "precision", "fwd GB/s", "bwd+opt GB/s"], rows)
+    by_key = {(r[0], r[1]): r for r in rows}
+    # paper: up to 850 GB/s on V100 and 1300 GB/s on A100 (fp32, D=128)
+    assert by_key[("V100", "fp32")][2] == pytest.approx(850 * 0.97, rel=0.1)
+    assert by_key[("A100", "fp32")][2] == pytest.approx(1300 * 0.97,
+                                                        rel=0.1)
+    # A100 > V100 in every configuration
+    for precision in ("fp32", "fp16"):
+        assert by_key[("A100", precision)][2] > \
+            by_key[("V100", precision)][2]
+    # fp16 achieved bytes/s slightly lower (Fig 18's fp16-below-fp32 gap)
+    assert by_key[("V100", "fp16")][2] < by_key[("V100", "fp32")][2]
+
+
+def test_real_fused_lookup_wallclock(benchmark):
+    """Wall-clock of the actual numpy fused lookup + fused update."""
+    rng = np.random.default_rng(0)
+    configs = [EmbeddingTableConfig(f"t{i}", 10_000, 32, avg_pooling=8.0)
+               for i in range(16)]
+    coll = FusedEmbeddingCollection.from_configs(configs, rng=rng)
+    batch = {}
+    for c in configs:
+        lengths = np.full(128, 8, dtype=np.int64)
+        batch[c.name] = (rng.integers(0, 10_000, size=1024).astype(np.int64),
+                         lengths_to_offsets(lengths))
+    dy = {c.name: np.ones((128, 32), dtype=np.float32) for c in configs}
+    opt = SparseSGD(lr=0.01)
+
+    def step():
+        out = coll.forward(batch)
+        coll.backward_and_update(dy, opt)
+        return out
+
+    out = benchmark(step)
+    assert out["t0"].shape == (128, 32)

@@ -1,0 +1,54 @@
+"""Fig. 1: the model landscape — DLRMs vs vision/NLP models in training
+compute (petaflop/s-days) and model capacity (parameters).
+
+The figure's point: DLRMs dwarf other domains in *capacity* (trillions of
+parameters vs billions) while their *compute* is comparable — the
+imbalance that motivates the whole co-design. We regenerate both panels
+from the zoo plus public reference models.
+"""
+
+import pytest
+
+from repro.models import MODEL_NAMES, full_spec
+
+# public reference points (parameters; training petaflop/s-days, public
+# estimates) for the non-DLRM side of Fig. 1
+REFERENCE_MODELS = {
+    "ResNet-50": (25.6e6, 0.1),
+    "BERT-Large": (340e6, 2.4),
+    "GPT-3": (175e9, 3640.0),
+}
+
+
+def pfs_days(spec, qps=1e6, days=7):
+    """Training compute if trained at qps for `days` days."""
+    total_flops = spec.mlp_flops_per_sample() * qps * 86400 * days
+    return total_flops / (1e15 * 86400)
+
+
+def landscape():
+    rows = [(name, f"{params / 1e9:.2f}B", f"{pf:.1f}")
+            for name, (params, pf) in REFERENCE_MODELS.items()]
+    for name in MODEL_NAMES:
+        spec = full_spec(name)
+        rows.append((f"DLRM-{name}",
+                     f"{spec.num_parameters / 1e9:.0f}B",
+                     f"{pfs_days(spec):.1f}"))
+    return rows
+
+
+def test_fig1_landscape(benchmark, report):
+    rows = benchmark(landscape)
+    report("Fig 1: model capacity and training compute",
+           ["model", "parameters", "petaflop/s-days"], rows)
+    # capacity: every production DLRM dwarfs BERT; F1 dwarfs GPT-3 by >50x
+    gpt3_params = REFERENCE_MODELS["GPT-3"][0]
+    f1 = full_spec("F1").num_parameters
+    assert f1 > 50 * gpt3_params
+    for name in MODEL_NAMES:
+        assert full_spec(name).num_parameters > 340e6  # > BERT-Large
+    # compute: DLRM pf/s-days comparable to language models, far below
+    # GPT-3's total — capacity is the outlier dimension, not compute
+    a3_pf = pfs_days(full_spec("A3"))
+    assert a3_pf < REFERENCE_MODELS["GPT-3"][1]
+    assert a3_pf > REFERENCE_MODELS["ResNet-50"][1]

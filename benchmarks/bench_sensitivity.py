@@ -1,0 +1,37 @@
+"""What-if sensitivity: which platform resource binds A2's throughput?
+
+The co-design argument in one table: at 128 GPUs, QPS elasticity is
+dominated by load balance and scale-out network bandwidth (the two
+things Neo/ZionEX invest in — the sharder and the dedicated RoCE
+fabric), while NVLink and batch size are nearly slack.
+"""
+
+import pytest
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.models import full_spec
+from repro.perf import TrainingSetup, sensitivity_report
+
+
+def report_for_a2():
+    setup = TrainingSetup(spec=full_spec("A2"),
+                          topology=PROTOTYPE_TOPOLOGY(16),
+                          global_batch=65536, load_imbalance=1.15)
+    return sensitivity_report(setup)
+
+
+def test_sensitivity_ranking(benchmark, report):
+    result = benchmark.pedantic(report_for_a2, rounds=1, iterations=1)
+    rows = sorted(result.items(), key=lambda kv: -abs(kv[1]))
+    report("QPS elasticity per platform knob (A2, 128 GPUs)",
+           ["knob", "elasticity (dlogQPS/dlogX)"],
+           [(k, f"{v:+.2f}") for k, v in rows])
+    # the paper's investments are the binding resources
+    assert abs(result["load_imbalance"]) > 0.3      # sharder matters
+    assert result["scaleout_bw"] > 0.3              # RoCE fabric matters
+    # and the slack ones are slack
+    assert abs(result["scaleup_bw"]) < 0.1          # NVLink not binding
+    assert abs(result["global_batch"]) < 0.3
+    # signs are physical: more imbalance hurts, more bandwidth helps
+    assert result["load_imbalance"] < 0
+    assert result["scaleout_bw"] > 0

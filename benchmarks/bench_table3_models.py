@@ -1,0 +1,44 @@
+"""Table 3: target model configurations A1/A2/A3/F1.
+
+The zoo synthesizes full-scale specs from Table 3's aggregate statistics;
+this bench regenerates the table from the synthesized specs and checks
+each column lands on the declared values.
+"""
+
+import pytest
+
+from repro.models import MODEL_NAMES, TABLE3_REFERENCE, full_spec
+
+
+def table3():
+    rows = []
+    for name in MODEL_NAMES:
+        spec = full_spec(name)
+        ref = TABLE3_REFERENCE[name]
+        dims = [t.embedding_dim for t in spec.tables]
+        rows.append((name,
+                     f"{spec.num_parameters / 1e9:.0f}B",
+                     f"{ref['num_parameters'] / 1e9:.0f}B",
+                     len(spec.tables),
+                     f"[{min(dims)}, {max(dims)}] avg {spec.avg_embedding_dim:.0f}",
+                     f"{spec.avg_pooling:.0f}",
+                     len(spec.mlp_layer_sizes),
+                     spec.mlp_layer_sizes[0]))
+    return rows
+
+
+def test_table3_models(benchmark, report):
+    rows = benchmark(table3)
+    report("Table 3: target model configurations (synthesized vs declared)",
+           ["model", "params", "paper", "tables", "emb dims", "avg L",
+            "MLP layers", "MLP size"], rows)
+    for name in MODEL_NAMES:
+        spec = full_spec(name)
+        ref = TABLE3_REFERENCE[name]
+        assert spec.num_parameters == pytest.approx(ref["num_parameters"],
+                                                    rel=0.15)
+        assert len(spec.tables) == ref["num_tables"]
+        assert len(spec.mlp_layer_sizes) == ref["num_mlp_layers"]
+    # the capacity ordering that drives the whole paper
+    sizes = {n: full_spec(n).num_parameters for n in MODEL_NAMES}
+    assert sizes["A1"] < sizes["A2"] < sizes["A3"] < sizes["F1"]

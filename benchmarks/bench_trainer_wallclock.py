@@ -1,0 +1,59 @@
+"""Wall-clock throughput of the *functional* simulated trainer itself.
+
+Not a paper figure — this benchmarks the reproduction as software: how
+many samples/second the lock-step simulator trains, per sharding scheme,
+so regressions in the trainer's hot paths (fused lookup, exact merge,
+collectives) show up in `pytest-benchmark` history.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import ClusterTopology
+from repro.core import NeoTrainer
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig, SparseAdaGrad
+from repro.models import DLRMConfig
+from repro.sharding import ShardingPlan, ShardingScheme, shard_table
+
+WORLD = 4
+BATCH = 128
+
+
+def build(scheme):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", 2048, 16, avg_pooling=5.0)
+                   for i in range(8))
+    config = DLRMConfig(dense_dim=8, bottom_mlp=(32, 16), tables=tables,
+                        top_mlp=(32,))
+    plan = ShardingPlan(world_size=WORLD)
+    for i, t in enumerate(tables):
+        ranks = [i % WORLD] if scheme == ShardingScheme.TABLE_WISE \
+            else list(range(WORLD))
+        plan.tables[t.name] = shard_table(t, scheme, ranks)
+    trainer = NeoTrainer(
+        config, plan, ClusterTopology(num_nodes=1, gpus_per_node=WORLD),
+        dense_optimizer=lambda p: nn.Adam(p, lr=0.01),
+        sparse_optimizer=SparseAdaGrad(lr=0.1), seed=0)
+    ds = SyntheticCTRDataset(tables, dense_dim=8, seed=0)
+    shards = [ds.batch(BATCH, i).split(WORLD) for i in range(4)]
+    return trainer, shards
+
+
+@pytest.mark.parametrize("scheme", [ShardingScheme.TABLE_WISE,
+                                    ShardingScheme.ROW_WISE,
+                                    ShardingScheme.COLUMN_WISE,
+                                    ShardingScheme.DATA_PARALLEL])
+def test_trainer_step_wallclock(benchmark, scheme):
+    trainer, shards = build(scheme)
+    state = {"i": 0}
+
+    def step():
+        loss = trainer.train_step(shards[state["i"] % len(shards)])
+        state["i"] += 1
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+    benchmark.extra_info["samples_per_second"] = \
+        BATCH / benchmark.stats["mean"] if benchmark.stats else 0

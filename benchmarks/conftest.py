@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md section 3 for the index). Conventions:
+
+* each bench runs its experiment inside the ``benchmark`` fixture so
+  ``pytest benchmarks/ --benchmark-only`` times the reproduction;
+* paper-reported values and the model's values are attached via
+  ``benchmark.extra_info`` and printed as a table, so a plain run shows
+  the side-by-side comparison;
+* assertions check *shape* (ordering, ratios, crossovers), not absolute
+  equality — our substrate is a simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_rows(benchmark, title, header, rows):
+    """Attach a small results table to the benchmark report and print it."""
+    benchmark.extra_info["title"] = title
+    benchmark.extra_info["rows"] = [list(map(str, r)) for r in rows]
+    widths = [max(len(str(x)) for x in col)
+              for col in zip(header, *[[str(c) for c in r] for r in rows])]
+    lines = [title,
+             "  ".join(str(h).ljust(w) for h, w in zip(header, widths))]
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    print("\n" + "\n".join(lines))
+
+
+@pytest.fixture
+def report(benchmark):
+    """Curried row recorder bound to the current benchmark."""
+    def _report(title, header, rows):
+        record_rows(benchmark, title, header, rows)
+    return _report

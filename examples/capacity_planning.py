@@ -1,0 +1,70 @@
+"""Capacity planning: can a 12-trillion-parameter model train on your
+cluster? (the paper's Section 5.3.3 study as a reusable workflow)
+
+Walks the F1 model through the memory-recipe ladder (element-wise vs
+row-wise AdaGrad state, FP32 vs FP16 tables), checks fit against the
+cluster's HBM+DRAM hierarchy, and produces the sharding plan the paper
+uses (row-wise sharding of the massive tables).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.models import full_spec
+from repro.perf import (PROTOTYPE_CLUSTER_MEMORY, capacity_ladder,
+                        model_footprint)
+from repro.sharding import (CostModelParams, EmbeddingShardingPlanner,
+                            PlannerConfig, ShardingScheme, plan_cost_per_rank)
+
+
+def main():
+    spec = full_spec("F1")
+    print(f"model F1: {spec.num_parameters / 1e12:.1f}T parameters, "
+          f"{len(spec.tables)} tables, "
+          f"largest table {max(t.num_embeddings for t in spec.tables) / 1e9:.1f}B rows")
+    mem = PROTOTYPE_CLUSTER_MEMORY
+    print(f"cluster: {mem.hbm_bytes / 1e12:.0f} TB HBM "
+          f"+ {mem.dram_bytes / 1e12:.0f} TB DRAM\n")
+
+    print("memory recipe ladder (Section 5.3.3):")
+    for fp in capacity_ladder(spec):
+        verdict = "fits" if mem.fits(fp) else "DOES NOT FIT"
+        print(f"  {fp.label:<25} weights {fp.weights_bytes / 1e12:5.1f} TB"
+              f" + state {fp.optimizer_bytes / 1e12:5.1f} TB"
+              f" = {fp.total_bytes / 1e12:5.1f} TB   -> {verdict}")
+
+    # shard the (fp16 + row-wise AdaGrad) model across 128 GPUs
+    world = 128
+    params = CostModelParams(global_batch=65536, world_size=world)
+    planner = EmbeddingShardingPlanner(
+        PlannerConfig(world_size=world, ranks_per_node=8,
+                      # per-GPU HBM budget after framework reservations
+                      device_memory_bytes=28e9, bytes_per_element=2),
+        cost_params=params)
+    plan = planner.plan(list(spec.tables))
+    schemes = {plan.scheme_of(t.name).value for t in spec.tables}
+    print(f"\nsharding plan over {world} GPUs: schemes used = {schemes}")
+    loads = plan_cost_per_rank(plan, params)
+    print(f"per-rank cost: max/mean imbalance = "
+          f"{max(loads) / (sum(loads) / len(loads)):.3f}")
+    rw = sum(1 for t in spec.tables
+             if plan.scheme_of(t.name) in (ShardingScheme.ROW_WISE,
+                                           ShardingScheme.TABLE_ROW_WISE))
+    print(f"{rw}/{len(spec.tables)} tables are row-wise sharded "
+          f"(each exceeds a single GPU's memory)")
+
+    # how much memory lands on each rank (fp16 elements)
+    per_rank = plan.memory_per_rank(bytes_per_element=2)
+    print(f"per-rank model bytes: min {min(per_rank) / 1e9:.0f} GB, "
+          f"max {max(per_rank) / 1e9:.0f} GB "
+          f"(HBM is the cache; overflow lives in DRAM via UVM)")
+
+    # contrast: a model that does NOT need any of this
+    a1 = full_spec("A1")
+    fp = model_footprint(a1, "fp32", "rowwise_adagrad")
+    print(f"\nfor contrast, model A1 needs only "
+          f"{fp.total_bytes / 1e12:.2f} TB -> "
+          f"{'fits' if mem.fits(fp) else 'does not fit'} without tricks")
+
+
+if __name__ == "__main__":
+    main()

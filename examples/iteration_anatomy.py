@@ -1,0 +1,58 @@
+"""Anatomy of a DLRM training iteration: where the time goes and what
+overlaps with what (paper Fig. 9, Fig. 12, Eq. 1).
+
+Renders the iteration's task DAG as an ASCII timeline for model A2 on the
+128-GPU prototype, compares the Eq. 1 closed form against the
+discrete-event engine (including steady-state inter-batch pipelining),
+and shows how the picture changes as the cluster grows — the AlltoAll
+takes over the critical path, exactly the paper's scaling story.
+
+Run:  python examples/iteration_anatomy.py
+"""
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.core import (PipelineSchedule, dlrm_iteration_tasks,
+                        iteration_latency, steady_state_iteration_time)
+from repro.models import full_spec
+from repro.perf import TrainingSetup, component_times, render_timeline
+
+
+def main():
+    spec = full_spec("A2")
+
+    print("=== one iteration, A2 @ 128 GPUs (batch 64K) ===\n")
+    setup = TrainingSetup(spec=spec, topology=PROTOTYPE_TOPOLOGY(16),
+                          global_batch=65536, load_imbalance=1.15)
+    t = component_times(setup)
+    schedule = PipelineSchedule(dlrm_iteration_tasks(t))
+    print(render_timeline(schedule))
+    print(f"\ncritical path: {' -> '.join(schedule.critical_path())}")
+    print(f"Eq. 1 latency:        {iteration_latency(t) * 1e3:7.1f} ms")
+    print(f"DAG makespan (cold):  {schedule.makespan * 1e3:7.1f} ms")
+    print(f"DAG steady state:     "
+          f"{steady_state_iteration_time(t) * 1e3:7.1f} ms "
+          f"(inter-batch pipelining)")
+    print(f"fully serialized:     {t.serialized_total * 1e3:7.1f} ms")
+
+    print("\n=== how the critical path shifts with cluster size ===\n")
+    for nodes in (1, 4, 16):
+        topo = PROTOTYPE_TOPOLOGY(nodes)
+        scaled = TrainingSetup(spec=spec, topology=topo,
+                               global_batch=512 * topo.world_size,
+                               load_imbalance=1.15)
+        ct = component_times(scaled)
+        sched = PipelineSchedule(dlrm_iteration_tasks(ct))
+        path = sched.critical_path()
+        a2a_on_path = any("a2a" in p for p in path)
+        print(f"{topo.world_size:4d} GPUs: iteration "
+              f"{sched.makespan * 1e3:6.1f} ms, "
+              f"AlltoAll {'ON ' if a2a_on_path else 'off'} the critical "
+              f"path  ({' -> '.join(p for p in path[:4])} ...)")
+    print("\nThe paper's Section 5.3.1 conclusion, visible in the DAG: "
+          "at cluster scale\nthe exposed AlltoAll dominates the "
+          "iteration, which is why quantized comms\n(Fig 13) buys so "
+          "much.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Throughput projection: estimate training QPS for your model on a
+ZionEX-style cluster before buying the hardware.
+
+What a downstream capacity-planning user does with this library: describe
+the model, pick a cluster size, measure the sharding plan's balance, and
+read iteration-latency breakdowns (which component is the bottleneck?
+does quantized comms help? how far does scaling go?).
+
+Run:  python examples/throughput_projection.py
+"""
+
+from repro.comms import PROTOTYPE_TOPOLOGY, QuantizedCommsConfig
+from repro.models import full_spec
+from repro.perf import (TrainingSetup, latency_breakdown, plan_imbalance,
+                        qps, weak_scaling_curve)
+from repro.sharding import (CostModelParams, EmbeddingShardingPlanner,
+                            PlannerConfig, plan_cost_per_rank)
+
+
+def main():
+    spec = full_spec("A2")  # swap in your own ModelSpec here
+    nodes = 16
+    topo = PROTOTYPE_TOPOLOGY(nodes)
+    print(f"projecting model {spec.name}: "
+          f"{spec.num_parameters / 1e9:.0f}B params, "
+          f"{len(spec.tables)} tables, on {topo.world_size} GPUs\n")
+
+    # 1. shard it and measure the plan's balance
+    params = CostModelParams(global_batch=65536,
+                             world_size=topo.world_size)
+    planner = EmbeddingShardingPlanner(
+        PlannerConfig(world_size=topo.world_size, ranks_per_node=8),
+        cost_params=params)
+    plan = planner.plan(list(spec.tables))
+    imbalance = plan_imbalance(plan_cost_per_rank(plan, params))
+    print(f"planner imbalance (max/mean rank load): {imbalance:.2f}")
+
+    # 2. project throughput, stock vs optimized configuration
+    stock = TrainingSetup(spec=spec, topology=topo, global_batch=65536,
+                          load_imbalance=imbalance)
+    optimized = TrainingSetup(spec=spec, topology=topo, global_batch=262144,
+                              load_imbalance=imbalance,
+                              embedding_precision="fp16",
+                              comms=QuantizedCommsConfig.paper_recipe())
+    print(f"stock fp32, 64K batch:        {qps(stock) / 1e3:7.0f}K QPS")
+    print(f"fp16 emb + quant comms, 256K: {qps(optimized) / 1e3:7.0f}K QPS")
+
+    # 3. where does the time go? (Fig 12-style breakdown)
+    b = latency_breakdown(stock)
+    print(f"\niteration latency {b.total * 1e3:.1f} ms; "
+          "top exposed components:")
+    exposed = sorted(b.exposed.items(), key=lambda kv: -kv[1])[:5]
+    for name, seconds in exposed:
+        print(f"  {name:<18} {seconds * 1e3:7.2f} ms exposed "
+              f"(serialized {b.serialized[name] * 1e3:.2f} ms)")
+
+    # 4. is it worth buying more nodes? (Fig 11-style weak scaling)
+    base = TrainingSetup(spec=spec, topology=PROTOTYPE_TOPOLOGY(1),
+                         global_batch=512 * 8, load_imbalance=imbalance)
+    curve = weak_scaling_curve(base, [1, 2, 4, 8, 16])
+    print("\nweak scaling (fixed 512 per-GPU batch):")
+    for n, value in curve.items():
+        eff = value / (n * curve[1])
+        print(f"  {n * 8:4d} GPUs: {value / 1e3:7.0f}K QPS "
+              f"({eff:.0%} efficiency)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against: the async parameter-server CPU
+system (Section 2) and the previous-generation Zion hybrid nodes
+(Section 3.1)."""
+
+from .parameter_server import AsyncPSTrainer, ps_throughput_qps
+from .zion import (ZionSetup, zion_iteration_time, zion_qps,
+                   zion_vs_zionex_scaling)
+
+__all__ = [
+    "AsyncPSTrainer",
+    "ps_throughput_qps",
+    "ZionSetup",
+    "zion_iteration_time",
+    "zion_qps",
+    "zion_vs_zionex_scaling",
+]

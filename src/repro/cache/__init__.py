@@ -1,0 +1,23 @@
+"""Software-managed memory hierarchy: set-associative row cache, UVM page
+cache baseline, and HBM/DDR/SSD tier modelling (paper Section 4.1.3)."""
+
+from .backing import ArrayBackingStore
+from .hierarchy import (ZIONEX_NODE_HIERARCHY, CachedEmbeddingTable,
+                        MemoryHierarchy, MemoryTier)
+from .mixed_precision import (LowPrecisionBackingStore,
+                              MixedPrecisionEmbeddingTable)
+from .set_associative import CacheStats, SetAssociativeCache
+from .uvm import UVMPageCache
+
+__all__ = [
+    "ArrayBackingStore",
+    "SetAssociativeCache",
+    "CacheStats",
+    "UVMPageCache",
+    "MemoryTier",
+    "MemoryHierarchy",
+    "CachedEmbeddingTable",
+    "ZIONEX_NODE_HIERARCHY",
+    "LowPrecisionBackingStore",
+    "MixedPrecisionEmbeddingTable",
+]

@@ -1,0 +1,129 @@
+"""UVM-style page cache baseline (paper Section 4.1.3).
+
+CUDA unified memory migrates *pages*, not rows: a miss on one row drags its
+whole page across PCIe, and eviction throws away every row on the victim
+page even if some are hot. The paper's argument for the custom software
+cache is exactly this granularity mismatch, plus UVM being capped at PCIe
+bandwidth. This class models UVM semantics with the same read/write/flush
+interface as :class:`repro.cache.SetAssociativeCache` so the two can be
+compared head-to-head on identical access traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .backing import ArrayBackingStore
+from .set_associative import CacheStats
+
+__all__ = ["UVMPageCache"]
+
+
+class UVMPageCache:
+    """Fully-associative LRU cache at page granularity.
+
+    Parameters
+    ----------
+    capacity_rows:
+        Total rows the fast tier can hold (to compare like-for-like with a
+        row cache of equal capacity).
+    rows_per_page:
+        Migration granularity. UVM pages are 2 MB; for a D=128 fp32 table
+        that is 4096 rows per page.
+    """
+
+    def __init__(self, capacity_rows: int, row_dim: int,
+                 rows_per_page: int = 64) -> None:
+        if rows_per_page <= 0 or capacity_rows < rows_per_page:
+            raise ValueError(
+                "capacity must hold at least one page of rows")
+        self.rows_per_page = rows_per_page
+        self.capacity_pages = capacity_rows // rows_per_page
+        self.row_dim = row_dim
+        # page_id -> (data (rows_per_page, D), dirty flag)
+        self._pages: Dict[int, np.ndarray] = {}
+        self._dirty: Dict[int, bool] = {}
+        self._lru: Dict[int, int] = {}
+        self._clock = 0
+        self.stats = CacheStats()
+        self.pages_migrated = 0
+
+    def _page_of(self, row_id: int) -> int:
+        return int(row_id) // self.rows_per_page
+
+    def _page_rows(self, page_id: int, backing: ArrayBackingStore) -> np.ndarray:
+        start = page_id * self.rows_per_page
+        stop = min(start + self.rows_per_page, backing.num_rows)
+        return np.arange(start, stop, dtype=np.int64)
+
+    def _evict_one(self, backing: ArrayBackingStore) -> None:
+        victim = min(self._lru, key=self._lru.get)
+        self.stats.evictions += 1
+        if self._dirty[victim]:
+            self.stats.writebacks += 1
+            rows = self._page_rows(victim, backing)
+            backing.write_rows(rows, self._pages[victim][:len(rows)])
+        del self._pages[victim], self._dirty[victim], self._lru[victim]
+
+    def _ensure_page(self, page_id: int, backing: ArrayBackingStore) -> None:
+        if page_id in self._pages:
+            return
+        while len(self._pages) >= self.capacity_pages:
+            self._evict_one(backing)
+        rows = self._page_rows(page_id, backing)
+        data = np.zeros((self.rows_per_page, self.row_dim), dtype=np.float32)
+        data[:len(rows)] = backing.read_rows(rows)
+        self._pages[page_id] = data
+        self._dirty[page_id] = False
+        self.pages_migrated += 1
+
+    def _touch(self, page_id: int) -> None:
+        self._clock += 1
+        self._lru[page_id] = self._clock
+
+    def read(self, row_ids: np.ndarray,
+             backing: ArrayBackingStore) -> np.ndarray:
+        out = np.empty((len(row_ids), self.row_dim), dtype=np.float32)
+        for i, row_id in enumerate(np.asarray(row_ids, dtype=np.int64)):
+            page = self._page_of(row_id)
+            if page in self._pages:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self._ensure_page(page, backing)
+            self._touch(page)
+            out[i] = self._pages[page][row_id % self.rows_per_page]
+        return out
+
+    def write(self, row_ids: np.ndarray, values: np.ndarray,
+              backing: ArrayBackingStore) -> None:
+        for i, row_id in enumerate(np.asarray(row_ids, dtype=np.int64)):
+            page = self._page_of(row_id)
+            if page in self._pages:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self._ensure_page(page, backing)
+            self._touch(page)
+            self._pages[page][row_id % self.rows_per_page] = values[i]
+            self._dirty[page] = True
+
+    def flush(self, backing: ArrayBackingStore) -> int:
+        count = 0
+        for page_id, dirty in list(self._dirty.items()):
+            if dirty:
+                rows = self._page_rows(page_id, backing)
+                backing.write_rows(rows, self._pages[page_id][:len(rows)])
+                self._dirty[page_id] = False
+                self.stats.writebacks += 1
+                count += 1
+        return count
+
+    def contains(self, row_id: int) -> bool:
+        return self._page_of(row_id) in self._pages
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+        self.pages_migrated = 0

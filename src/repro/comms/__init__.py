@@ -1,0 +1,25 @@
+"""Communication layer: exact simulated collectives, wire quantization,
+cluster topology and the alpha-beta latency model (paper Sections 4.5, 5.1)."""
+
+from . import collectives, param_bench, perf_model
+from .bucketing import Bucket, GradientBucketer
+from .process_group import CommsLog, SimProcessGroup
+from .quantization import CODECS, QuantizedCommsConfig, get_codec, wire_bytes
+from .topology import PROTOTYPE_TOPOLOGY, ZION_TOPOLOGY, ClusterTopology
+
+__all__ = [
+    "collectives",
+    "perf_model",
+    "param_bench",
+    "SimProcessGroup",
+    "CommsLog",
+    "GradientBucketer",
+    "Bucket",
+    "QuantizedCommsConfig",
+    "CODECS",
+    "get_codec",
+    "wire_bytes",
+    "ClusterTopology",
+    "PROTOTYPE_TOPOLOGY",
+    "ZION_TOPOLOGY",
+]

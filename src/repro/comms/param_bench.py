@@ -1,0 +1,114 @@
+"""PARAM-style communication benchmarks (paper Appendix A).
+
+The paper open-sourced PARAM to fix two gaps in NCCL-tests/OSU-style
+microbenchmarks: they only sweep power-of-two sizes ("bench mode" is
+still useful for trends) and they can't mimic a real workload's exact
+collective sequence ("replay mode"). Both modes are reproduced over the
+reproduction's latency model:
+
+* :func:`bench_mode` — sweep a collective over message sizes on a
+  topology, returning (size, time, achieved bandwidth) rows;
+* :class:`CommsTrace` / :func:`replay_mode` — capture the exact sequence
+  of collectives a training run issued (name + wire bytes, from the
+  process group log) and replay it against any topology, answering
+  "what would this workload's comms cost on that cluster?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from . import perf_model
+from .process_group import CommsLog
+from .topology import ClusterTopology
+
+__all__ = ["BenchRow", "bench_mode", "CommsTrace", "trace_from_log",
+           "replay_mode"]
+
+_COLLECTIVE_TIMES = {
+    "all_to_all": perf_model.alltoall_time,
+    "all_reduce": perf_model.allreduce_time,
+    "reduce_scatter": perf_model.reduce_scatter_time,
+    "all_gather": perf_model.allgather_time,
+    "broadcast": perf_model.allgather_time,
+}
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    message_bytes: int
+    seconds: float
+    achieved_bw: float
+
+
+def bench_mode(collective: str, topology: ClusterTopology,
+               min_exponent: int = 10, max_exponent: int = 28
+               ) -> List[BenchRow]:
+    """Sweep one collective over power-of-two per-GPU message sizes."""
+    if collective not in _COLLECTIVE_TIMES:
+        raise ValueError(f"unknown collective {collective!r}; expected one "
+                         f"of {sorted(_COLLECTIVE_TIMES)}")
+    if min_exponent > max_exponent:
+        raise ValueError("min_exponent must be <= max_exponent")
+    timer = _COLLECTIVE_TIMES[collective]
+    rows = []
+    for exp in range(min_exponent, max_exponent + 1):
+        size = 2 ** exp
+        seconds = timer(size, topology)
+        bw = size / seconds if seconds > 0 else float("inf")
+        rows.append(BenchRow(message_bytes=size, seconds=seconds,
+                             achieved_bw=bw))
+    return rows
+
+
+@dataclass
+class CommsTrace:
+    """An ordered record of collectives: (base name, per-GPU bytes)."""
+
+    events: List[Tuple[str, float]] = field(default_factory=list)
+
+    def append(self, collective: str, per_gpu_bytes: float) -> None:
+        base = collective.split("/")[0]
+        if base not in _COLLECTIVE_TIMES:
+            raise ValueError(f"unknown collective {collective!r}")
+        self.events.append((base, float(per_gpu_bytes)))
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(b for _, b in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def trace_from_log(log: CommsLog, world_size: int) -> CommsTrace:
+    """Approximate a trace from an aggregated :class:`CommsLog`.
+
+    The log stores totals per collective type; the reconstructed trace
+    spreads each type's bytes evenly over its call count — exact for the
+    steady-state DLRM loop where every iteration issues the same sequence.
+    """
+    trace = CommsTrace()
+    for name, calls in log.calls.items():
+        total_wire = log.wire_bytes[name]
+        per_call_per_gpu = total_wire / calls / max(world_size, 1)
+        for _ in range(calls):
+            trace.append(name, per_call_per_gpu)
+    return trace
+
+
+def replay_mode(trace: CommsTrace,
+                topology: ClusterTopology) -> Dict[str, float]:
+    """Replay a captured trace against a topology.
+
+    Returns modeled seconds per collective type plus ``"total"`` — the
+    workload's communication cost on that cluster, serialized (overlap is
+    the pipeline model's job, not the comms benchmark's).
+    """
+    out: Dict[str, float] = {}
+    for name, per_gpu_bytes in trace.events:
+        seconds = _COLLECTIVE_TIMES[name](per_gpu_bytes, topology)
+        out[name] = out.get(name, 0.0) + seconds
+    out["total"] = sum(v for k, v in out.items() if k != "total")
+    return out

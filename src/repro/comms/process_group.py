@@ -1,0 +1,137 @@
+"""Process-group facade: collectives + traffic accounting + modeled time.
+
+This is the reproduction's analogue of the PyTorch ProcessGroup (NCCL)
+interface the paper extends (Section 4.5). It binds together
+
+* the exact functional collectives (data really moves between ranks),
+* optional wire quantization (:class:`QuantizedCommsConfig`),
+* byte accounting per collective type, and
+* the alpha-beta latency model, accumulating a modeled communication time
+  alongside the real computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import collectives, perf_model
+from .quantization import QuantizedCommsConfig, wire_bytes
+from .topology import ClusterTopology
+
+__all__ = ["CommsLog", "SimProcessGroup"]
+
+
+@dataclass
+class CommsLog:
+    """Accumulated traffic and modeled time, by collective."""
+
+    calls: Dict[str, int] = field(default_factory=dict)
+    wire_bytes: Dict[str, int] = field(default_factory=dict)
+    modeled_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, name: str, bytes_on_wire: int, seconds: float) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.wire_bytes[name] = self.wire_bytes.get(name, 0) + bytes_on_wire
+        self.modeled_seconds[name] = (
+            self.modeled_seconds.get(name, 0.0) + seconds)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.wire_bytes.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.modeled_seconds.values())
+
+
+class SimProcessGroup:
+    """All-rank collectives with accounting, for the lock-step trainer."""
+
+    def __init__(self, topology: ClusterTopology,
+                 comms_config: Optional[QuantizedCommsConfig] = None) -> None:
+        self.topology = topology
+        self.comms_config = comms_config or QuantizedCommsConfig()
+        self.log = CommsLog()
+
+    @property
+    def world_size(self) -> int:
+        return self.topology.world_size
+
+    def _check_world(self, inputs: list, name: str) -> None:
+        if len(inputs) != self.world_size:
+            raise ValueError(
+                f"{name} expects one input per rank "
+                f"({self.world_size}), got {len(inputs)}")
+
+    # ------------------------------------------------------------------
+    def all_reduce(self, inputs: List[np.ndarray]) -> List[np.ndarray]:
+        self._check_world(inputs, "all_reduce")
+        precision = self.comms_config.allreduce
+        out = collectives.all_reduce(
+            inputs, codec=self.comms_config.allreduce_codec())
+        per_gpu = wire_bytes(int(inputs[0].size), precision)
+        seconds = perf_model.allreduce_time(per_gpu, self.topology)
+        self.log.record("all_reduce", per_gpu * self.world_size, seconds)
+        return out
+
+    def all_to_all(self, inputs: List[List[np.ndarray]],
+                   direction: str = "forward_alltoall"
+                   ) -> List[List[np.ndarray]]:
+        self._check_world(inputs, "all_to_all")
+        if direction == "forward_alltoall":
+            codec = self.comms_config.forward_codec()
+            precision = self.comms_config.forward_alltoall
+        elif direction == "backward_alltoall":
+            codec = self.comms_config.backward_codec()
+            precision = self.comms_config.backward_alltoall
+        elif direction == "index":
+            # index redistribution is integer data: never quantized
+            codec = None
+            precision = "fp32"  # ids are 8B but sizes are counted directly
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        out = collectives.all_to_all(inputs, codec=codec)
+        if direction == "index":
+            total_elems = sum(int(np.asarray(x).size) for row in inputs
+                              for x in row)
+            total_wire = total_elems * 8
+        else:
+            total_elems = sum(int(np.asarray(x).size) for row in inputs
+                              for x in row)
+            total_wire = wire_bytes(total_elems, precision)
+        per_gpu = total_wire / max(self.world_size, 1)
+        seconds = perf_model.alltoall_time(per_gpu, self.topology)
+        self.log.record(f"all_to_all/{direction}", total_wire, seconds)
+        return out
+
+    def reduce_scatter(self, inputs: List[List[np.ndarray]]
+                       ) -> List[np.ndarray]:
+        self._check_world(inputs, "reduce_scatter")
+        out = collectives.reduce_scatter(inputs)
+        per_gpu = sum(int(np.asarray(x).size) for x in inputs[0]) * 4
+        seconds = perf_model.reduce_scatter_time(per_gpu, self.topology)
+        self.log.record("reduce_scatter", per_gpu * self.world_size, seconds)
+        return out
+
+    def all_gather(self, inputs: List[np.ndarray]) -> List[List[np.ndarray]]:
+        self._check_world(inputs, "all_gather")
+        out = collectives.all_gather(inputs)
+        per_gpu = int(np.asarray(inputs[0]).size) * 4
+        seconds = perf_model.allgather_time(per_gpu, self.topology)
+        self.log.record("all_gather", per_gpu * self.world_size, seconds)
+        return out
+
+    def broadcast(self, inputs: List[np.ndarray],
+                  root: int = 0) -> List[np.ndarray]:
+        self._check_world(inputs, "broadcast")
+        out = collectives.broadcast(inputs, root=root)
+        per_gpu = int(np.asarray(inputs[root]).size) * 4
+        seconds = perf_model.allgather_time(per_gpu, self.topology)
+        self.log.record("broadcast", per_gpu * self.world_size, seconds)
+        return out
+
+    def reset_log(self) -> None:
+        self.log = CommsLog()

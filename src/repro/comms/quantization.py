@@ -1,0 +1,89 @@
+"""Quantized collective communications (paper Section 5.3.2, ref [58]).
+
+The paper halves AlltoAll volume by sending pooled embeddings in FP16 on
+the forward pass and gradients in BF16 on the backward pass (BF16's wider
+exponent tolerates gradient dynamic range). A codec here is both
+
+* a *numerical transform* — the round-trip through the wire precision,
+  applied to real payloads by :mod:`repro.comms.collectives`, and
+* a *volume multiplier* — used by the latency model to shrink transfer
+  bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .. import lowp
+
+__all__ = ["CODECS", "get_codec", "wire_bytes", "QuantizedCommsConfig"]
+
+
+def _fp32(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+CODECS: dict = {
+    "fp32": _fp32,
+    "fp16": lowp.fp16_roundtrip,
+    "bf16": lowp.bf16_roundtrip,
+}
+
+
+def get_codec(precision: str) -> Callable[[np.ndarray], np.ndarray]:
+    try:
+        return CODECS[precision]
+    except KeyError:
+        raise ValueError(f"unknown wire precision {precision!r}; expected "
+                         f"one of {sorted(CODECS)}") from None
+
+
+def wire_bytes(num_elements: int, precision: str) -> int:
+    """Bytes on the wire for ``num_elements`` at ``precision``."""
+    return num_elements * lowp.bytes_per_element(precision)
+
+
+@dataclass(frozen=True)
+class QuantizedCommsConfig:
+    """Wire precisions per communication direction.
+
+    The paper's validated recipe for model A2: FP16 forward AlltoAll,
+    BF16 backward AlltoAll, FP32 AllReduce (gradient sync stays full
+    precision).
+    """
+
+    forward_alltoall: str = "fp32"
+    backward_alltoall: str = "fp32"
+    allreduce: str = "fp32"
+
+    def __post_init__(self) -> None:
+        for p in (self.forward_alltoall, self.backward_alltoall,
+                  self.allreduce):
+            if p not in CODECS:
+                raise ValueError(f"unknown wire precision {p!r}")
+
+    @classmethod
+    def paper_recipe(cls) -> "QuantizedCommsConfig":
+        return cls(forward_alltoall="fp16", backward_alltoall="bf16",
+                   allreduce="fp32")
+
+    def forward_codec(self):
+        return get_codec(self.forward_alltoall)
+
+    def backward_codec(self):
+        return get_codec(self.backward_alltoall)
+
+    def allreduce_codec(self):
+        return get_codec(self.allreduce)
+
+    def volume_factor(self, direction: str) -> float:
+        """Wire bytes relative to FP32 for the given direction."""
+        precision = {
+            "forward_alltoall": self.forward_alltoall,
+            "backward_alltoall": self.backward_alltoall,
+            "allreduce": self.allreduce,
+        }[direction]
+        return lowp.bytes_per_element(precision) / 4.0

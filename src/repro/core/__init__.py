@@ -1,0 +1,27 @@
+"""Neo core: the synchronous hybrid-parallel trainer, the iteration
+pipeline model (paper Sections 3, 4.3), checkpointing and the end-to-end
+training loop."""
+
+from .checkpoint import CheckpointManager, CheckpointStats
+from .loop import TrainingLoop, TrainingResult
+from .pipeline import (ComponentTimes, LatencyBreakdown, breakdown,
+                       iteration_latency)
+from .schedule import (PipelineSchedule, Task, dlrm_iteration_tasks,
+                       steady_state_iteration_time)
+from .trainer import NeoTrainer
+
+__all__ = [
+    "NeoTrainer",
+    "ComponentTimes",
+    "LatencyBreakdown",
+    "iteration_latency",
+    "breakdown",
+    "CheckpointManager",
+    "CheckpointStats",
+    "TrainingLoop",
+    "TrainingResult",
+    "Task",
+    "PipelineSchedule",
+    "dlrm_iteration_tasks",
+    "steady_state_iteration_time",
+]

@@ -1,0 +1,126 @@
+"""End-to-end training loop: data ingestion -> trainer -> metrics ->
+checkpoints (the "overall training system" of Fig. 6).
+
+Wires the disaggregated pieces into the production-shaped loop: the
+reader service prefetches global batches, the Neo trainer consumes them
+synchronously, normalized entropy is evaluated on held-out batches at a
+fixed cadence, and the checkpoint manager snapshots at its own cadence —
+frequent enough to bound lost work (the Check-N-Run requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+from ..data.datagen import SyntheticCTRDataset
+from ..data.reader import DataIngestionService
+from ..metrics import normalized_entropy
+from .checkpoint import CheckpointManager
+from .trainer import NeoTrainer
+
+__all__ = ["TrainingResult", "TrainingLoop"]
+
+
+@dataclass
+class TrainingResult:
+    """Everything a training run produced."""
+
+    losses: List[float] = field(default_factory=list)
+    eval_steps: List[int] = field(default_factory=list)
+    eval_ne: List[float] = field(default_factory=list)
+    checkpoints: List[str] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_ne(self) -> Optional[float]:
+        return self.eval_ne[-1] if self.eval_ne else None
+
+    @property
+    def best_ne(self) -> Optional[float]:
+        return min(self.eval_ne) if self.eval_ne else None
+
+
+class TrainingLoop:
+    """Drives a :class:`NeoTrainer` with ingestion, eval and checkpoints.
+
+    Parameters
+    ----------
+    trainer:
+        The distributed trainer (owns the model and optimizers).
+    dataset:
+        The batch source; training and eval batches come from disjoint
+        index ranges so evaluation is held out.
+    global_batch_size:
+        Samples per synchronous iteration, split across the ranks.
+    eval_every / eval_batch_size:
+        Normalized-entropy evaluation cadence.
+    checkpoint_manager / checkpoint_every:
+        Optional checkpointing.
+    patience:
+        Early stopping: stop if NE fails to improve for this many
+        consecutive evaluations (None disables).
+    """
+
+    EVAL_OFFSET = 1_000_000  # eval batch indices live far from training's
+
+    def __init__(self, trainer: NeoTrainer, dataset: SyntheticCTRDataset,
+                 global_batch_size: int, eval_every: int = 50,
+                 eval_batch_size: int = 2048,
+                 checkpoint_manager: Optional[CheckpointManager] = None,
+                 checkpoint_every: int = 0,
+                 patience: Optional[int] = None,
+                 lr_schedulers: Optional[list] = None) -> None:
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if patience is not None and patience <= 0:
+            raise ValueError("patience must be positive when set")
+        self.trainer = trainer
+        self.ingestion = DataIngestionService(
+            dataset, world_size=trainer.world_size,
+            global_batch_size=global_batch_size)
+        self.dataset = dataset
+        self.eval_every = eval_every
+        self.eval_batch_size = eval_batch_size
+        self.checkpoint_manager = checkpoint_manager
+        self.checkpoint_every = checkpoint_every
+        self.patience = patience
+        self.lr_schedulers = list(lr_schedulers or [])
+
+    def evaluate(self, batch_index: int = 0) -> float:
+        """Held-out normalized entropy of the current model."""
+        model = self.trainer.to_local_model()
+        batch = self.dataset.batch(self.eval_batch_size,
+                                   self.EVAL_OFFSET + batch_index)
+        return normalized_entropy(model.predict_proba(batch), batch.labels)
+
+    def run(self, num_steps: int) -> TrainingResult:
+        result = TrainingResult()
+        best = float("inf")
+        since_best = 0
+        for step in range(num_steps):
+            shards = self.ingestion.next_batch()
+            result.losses.append(self.trainer.train_step(shards))
+            for scheduler in self.lr_schedulers:
+                scheduler.step()
+            if (step + 1) % self.eval_every == 0:
+                ne = self.evaluate(batch_index=step)
+                result.eval_steps.append(step + 1)
+                result.eval_ne.append(ne)
+                if ne < best - 1e-6:
+                    best = ne
+                    since_best = 0
+                else:
+                    since_best += 1
+                if self.patience is not None and since_best >= self.patience:
+                    result.stopped_early = True
+                    break
+            if self.checkpoint_manager is not None and \
+                    self.checkpoint_every and \
+                    (step + 1) % self.checkpoint_every == 0:
+                result.checkpoints.append(
+                    self.checkpoint_manager.save(self.trainer))
+        return result

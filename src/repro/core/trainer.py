@@ -1,0 +1,514 @@
+"""Neo: synchronous hybrid-parallel DLRM training (paper Sections 3, 4).
+
+The trainer runs ``W`` simulated ranks in lock-step inside one process:
+
+* **data parallelism** for the MLPs — every rank holds a replica, local
+  backward gradients are AllReduced and averaged (PyTorch-DDP semantics);
+* **model parallelism** for the embedding tables — each table is placed by
+  a :class:`repro.sharding.ShardingPlan` and its forward/backward follows
+  the Fig. 8 communication pattern of its scheme:
+
+  =============  =======================  =========================
+  scheme         forward comms            backward comms
+  =============  =======================  =========================
+  table-wise     index AlltoAll + pooled  pooled-gradient AlltoAll
+                 AlltoAll
+  row-wise /     bucketized index         pooled-gradient AllGather
+  table-row-wise AlltoAll + ReduceScatter
+  column-wise    replicated index         sliced-gradient AlltoAll
+                 AlltoAll + pooled
+                 AlltoAll
+  data-parallel  none (local lookup)      gradient AllReduce
+  =============  =======================  =========================
+
+* **exact sparse optimizers** update the embedding shards, so results are
+  independent of how the batch was split across ranks.
+
+All collectives move real data through :class:`SimProcessGroup`, which also
+accumulates wire bytes and modeled latency. The trainer's numerics are
+validated against the single-process :class:`repro.models.DLRM` reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..comms import ClusterTopology, QuantizedCommsConfig, SimProcessGroup
+from ..comms.bucketing import GradientBucketer
+from ..data.datagen import MiniBatch
+from ..data.kernels import bucketize_sparse
+from ..embedding import (EmbeddingTable, EmbeddingTableConfig,
+                         SparseGradient, SparseOptimizer)
+from ..embedding.table import lengths_to_offsets, offsets_to_lengths
+from ..models.dlrm import DLRM, DLRMConfig
+from ..sharding import Shard, ShardingPlan, ShardingScheme
+
+__all__ = ["NeoTrainer"]
+
+
+@dataclass
+class _RankState:
+    """Dense (data-parallel) model state of one rank."""
+
+    bottom: nn.MLP
+    top: nn.MLP
+    interaction: nn.Module  # DotInteraction or CatInteraction
+    loss_fn: nn.BCEWithLogitsLoss
+    dense_opt: nn.Optimizer
+    projections: Dict[str, nn.Linear]
+    table_order: Tuple[str, ...]
+
+    def dense_parameters(self) -> List[nn.Parameter]:
+        """Same ordering as :meth:`repro.models.DLRM.dense_parameters`."""
+        params = self.bottom.parameters()
+        for name in self.table_order:
+            if name in self.projections:
+                params.extend(self.projections[name].parameters())
+        return params + self.top.parameters()
+
+
+def _empty_ids() -> np.ndarray:
+    return np.zeros(0, dtype=np.int64)
+
+
+class NeoTrainer:
+    """Synchronous distributed DLRM trainer over simulated ranks."""
+
+    def __init__(self, config: DLRMConfig, plan: ShardingPlan,
+                 topology: ClusterTopology,
+                 dense_optimizer: Callable[[Sequence[nn.Parameter]],
+                                           nn.Optimizer],
+                 sparse_optimizer: SparseOptimizer,
+                 comms_config: Optional[QuantizedCommsConfig] = None,
+                 seed: int = 0) -> None:
+        if plan.world_size != topology.world_size:
+            raise ValueError(
+                f"plan world size {plan.world_size} != topology world size "
+                f"{topology.world_size}")
+        missing = {t.name for t in config.tables} - set(plan.tables)
+        if missing:
+            raise ValueError(f"plan missing tables {sorted(missing)}")
+        for t in config.tables:
+            scheme = plan.scheme_of(t.name)
+            if scheme in (ShardingScheme.ROW_WISE,
+                          ShardingScheme.TABLE_ROW_WISE) and \
+                    t.pooling_mode != "sum":
+                raise ValueError(
+                    f"row-wise sharding requires sum pooling "
+                    f"(table {t.name} uses {t.pooling_mode})")
+        self.config = config
+        self.plan = plan
+        self.pg = SimProcessGroup(topology, comms_config)
+        self.world_size = plan.world_size
+        self.sparse_opt = sparse_optimizer
+        self.steps = 0
+
+        # Golden initialization: slice a reference model so the distributed
+        # start state is identical to the single-process DLRM's.
+        golden = DLRM(config, seed=seed)
+        self.ranks: List[_RankState] = []
+        table_order = tuple(t.name for t in config.tables)
+        for _ in range(self.world_size):
+            bottom = nn.MLP((config.dense_dim,) + config.bottom_mlp,
+                            final_activation="relu", name="bottom")
+            top = nn.MLP((config.interaction_dim,) + config.top_mlp + (1,),
+                         name="top")
+            projections: Dict[str, nn.Linear] = {}
+            if config.project_features:
+                for t in config.tables:
+                    projections[t.name] = nn.Linear(
+                        t.embedding_dim, config.embedding_dim,
+                        name=f"proj.{t.name}")
+            state = _RankState(
+                bottom=bottom, top=top,
+                interaction=config.make_interaction(),
+                loss_fn=nn.BCEWithLogitsLoss(), dense_opt=None,
+                projections=projections, table_order=table_order)
+            for dst, src in zip(state.dense_parameters(),
+                                golden.dense_parameters()):
+                dst.data = src.data.copy()
+            state.dense_opt = dense_optimizer(state.dense_parameters())
+            self.ranks.append(state)
+        self._bucketer = GradientBucketer(
+            self.ranks[0].dense_parameters())
+
+        # Shard the embedding weights according to the plan.
+        self._build_shards(config, plan, golden)
+
+    @classmethod
+    def from_planner(cls, config: DLRMConfig, topology: ClusterTopology,
+                     dense_optimizer, sparse_optimizer,
+                     comms_config: Optional[QuantizedCommsConfig] = None,
+                     seed: int = 0,
+                     planner_config=None,
+                     device_memory_bytes: Optional[float] = None
+                     ) -> "NeoTrainer":
+        """Build a trainer with an automatically planned, memory-validated
+        sharding plan — the one-call production entry point."""
+        from ..sharding import EmbeddingShardingPlanner, PlannerConfig
+        from ..sharding.memory_validation import validate_plan_memory
+        if planner_config is None:
+            planner_config = PlannerConfig(
+                world_size=topology.world_size,
+                ranks_per_node=min(topology.gpus_per_node,
+                                   topology.world_size))
+        planner = EmbeddingShardingPlanner(planner_config)
+        plan = planner.plan(list(config.tables))
+        if device_memory_bytes is not None:
+            validate_plan_memory(plan, device_memory_bytes)
+        return cls(config, plan, topology, dense_optimizer,
+                   sparse_optimizer, comms_config=comms_config, seed=seed)
+
+    def _build_shards(self, config: DLRMConfig, plan: ShardingPlan,
+                      golden: DLRM) -> None:
+        self._shard_tables: Dict[Shard, EmbeddingTable] = {}
+        for t in config.tables:
+            weight = golden.embeddings.table(t.name).weight
+            for shard in plan.tables[t.name].shards:
+                r0, r1 = shard.row_range
+                c0, c1 = shard.col_range
+                shard_cfg = EmbeddingTableConfig(
+                    name=f"{t.name}@{shard.rank}:{r0}-{r1}:{c0}-{c1}",
+                    num_embeddings=r1 - r0, embedding_dim=c1 - c0,
+                    avg_pooling=t.avg_pooling, pooling_mode=t.pooling_mode)
+                self._shard_tables[shard] = EmbeddingTable(
+                    shard_cfg, weight=weight[r0:r1, c0:c1])
+
+    # ------------------------------------------------------------------
+    # embedding forward/backward, per scheme
+    # ------------------------------------------------------------------
+    def _global_jagged(self, shards_inputs: List[Tuple[np.ndarray,
+                                                       np.ndarray]]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate per-source-rank (ids, lengths) into one global
+        jagged batch, source-rank-major (matching batch concatenation)."""
+        ids = np.concatenate([i for i, _ in shards_inputs]) \
+            if shards_inputs else _empty_ids()
+        lengths = np.concatenate([l for _, l in shards_inputs]) \
+            if shards_inputs else _empty_ids()
+        return ids, lengths_to_offsets(lengths)
+
+    def _forward_table_wise(self, table: EmbeddingTableConfig,
+                            shard: Shard,
+                            local_inputs: List[Tuple[np.ndarray, np.ndarray]],
+                            local_batch: int) -> List[np.ndarray]:
+        w = self.world_size
+        owner = shard.rank
+        # index AlltoAll: every rank ships its local ids to the owner
+        payload = [[local_inputs[src][0] if dst == owner else _empty_ids()
+                    for dst in range(w)] for src in range(w)]
+        arrived = self.pg.all_to_all(payload, direction="index")
+        lengths = [[offsets_to_lengths(local_inputs[src][1])
+                    if dst == owner else _empty_ids()
+                    for dst in range(w)] for src in range(w)]
+        arrived_lengths = self.pg.all_to_all(lengths, direction="index")
+        ids, offsets = self._global_jagged(
+            list(zip(arrived[owner], arrived_lengths[owner])))
+        pooled_global = self._shard_tables[shard].forward(ids, offsets)
+        # pooled AlltoAll: owner scatters each rank's sub-batch
+        d = pooled_global.shape[1]
+        out_payload = [[pooled_global[dst * local_batch:(dst + 1)
+                                      * local_batch]
+                        if src == owner else
+                        np.zeros((0, d), dtype=np.float32)
+                        for dst in range(w)] for src in range(w)]
+        delivered = self.pg.all_to_all(out_payload,
+                                       direction="forward_alltoall")
+        return [delivered[r][owner] for r in range(w)]
+
+    def _backward_table_wise(self, shard: Shard,
+                             d_pooled: List[np.ndarray]) -> None:
+        w = self.world_size
+        owner = shard.rank
+        d = d_pooled[0].shape[1]
+        payload = [[d_pooled[src] / w if dst == owner else
+                    np.zeros((0, d), dtype=np.float32)
+                    for dst in range(w)] for src in range(w)]
+        arrived = self.pg.all_to_all(payload, direction="backward_alltoall")
+        d_global = np.concatenate(arrived[owner], axis=0).astype(np.float32)
+        grad = self._shard_tables[shard].backward(d_global)
+        self.sparse_opt.step(self._shard_tables[shard], grad)
+
+    def _forward_column_wise(self, table: EmbeddingTableConfig,
+                             shards: List[Shard],
+                             local_inputs: List[Tuple[np.ndarray,
+                                                      np.ndarray]],
+                             local_batch: int) -> List[np.ndarray]:
+        w = self.world_size
+        owners = [s.rank for s in shards]
+        # replicated index AlltoAll: each rank ships ids to every owner
+        payload = [[local_inputs[src][0] if dst in owners else _empty_ids()
+                    for dst in range(w)] for src in range(w)]
+        arrived = self.pg.all_to_all(payload, direction="index")
+        lengths = [[offsets_to_lengths(local_inputs[src][1])
+                    if dst in owners else _empty_ids()
+                    for dst in range(w)] for src in range(w)]
+        arrived_lengths = self.pg.all_to_all(lengths, direction="index")
+        # each owner pools its column slice for the global batch
+        pooled_slices: Dict[Shard, np.ndarray] = {}
+        for shard in shards:
+            ids, offsets = self._global_jagged(
+                list(zip(arrived[shard.rank],
+                         arrived_lengths[shard.rank])))
+            pooled_slices[shard] = self._shard_tables[shard].forward(
+                ids, offsets)
+        # pooled AlltoAll per shard (two shards may share an owner rank),
+        # then concatenate slices by column order
+        ordered = sorted(shards, key=lambda s: s.col_range)
+        delivered_by_shard = {}
+        for shard in ordered:
+            pooled = pooled_slices[shard]
+            d = pooled.shape[1]
+            out_payload = [[pooled[dst * local_batch:(dst + 1) * local_batch]
+                            if src == shard.rank else
+                            np.zeros((0, d), dtype=np.float32)
+                            for dst in range(w)] for src in range(w)]
+            delivered = self.pg.all_to_all(out_payload,
+                                           direction="forward_alltoall")
+            delivered_by_shard[shard] = [delivered[r][shard.rank]
+                                         for r in range(w)]
+        return [np.concatenate([delivered_by_shard[s][r] for s in ordered],
+                               axis=1) for r in range(w)]
+
+    def _backward_column_wise(self, shards: List[Shard],
+                              d_pooled: List[np.ndarray]) -> None:
+        w = self.world_size
+        for shard in sorted(shards, key=lambda s: s.col_range):
+            c0, c1 = shard.col_range
+            payload = [[d_pooled[src][:, c0:c1] / w
+                        if dst == shard.rank else
+                        np.zeros((0, c1 - c0), dtype=np.float32)
+                        for dst in range(w)] for src in range(w)]
+            arrived = self.pg.all_to_all(payload,
+                                         direction="backward_alltoall")
+            d_global = np.concatenate(arrived[shard.rank],
+                                      axis=0).astype(np.float32)
+            grad = self._shard_tables[shard].backward(d_global)
+            self.sparse_opt.step(self._shard_tables[shard], grad)
+
+    def _forward_row_wise(self, table: EmbeddingTableConfig,
+                          shards: List[Shard],
+                          local_inputs: List[Tuple[np.ndarray, np.ndarray]],
+                          local_batch: int) -> List[np.ndarray]:
+        w = self.world_size
+        d = table.embedding_dim
+        ordered = sorted(shards, key=lambda s: s.row_range)
+        boundaries = [s.row_range[0] for s in ordered] \
+            + [ordered[-1].row_range[1]]
+        # bucketize each rank's ids and ship bucket k to its owner
+        payload_ids = [[_empty_ids() for _ in range(w)] for _ in range(w)]
+        payload_lengths = [[_empty_ids() for _ in range(w)]
+                           for _ in range(w)]
+        for src in range(w):
+            ids, offsets = local_inputs[src]
+            buckets = bucketize_sparse(ids, offsets_to_lengths(offsets),
+                                       boundaries)
+            for shard, (b_ids, b_lengths) in zip(ordered, buckets):
+                payload_ids[src][shard.rank] = b_ids
+                payload_lengths[src][shard.rank] = b_lengths
+        arrived_ids = self.pg.all_to_all(payload_ids, direction="index")
+        arrived_lengths = self.pg.all_to_all(payload_lengths,
+                                             direction="index")
+        # owners compute partial pooled sums for the global batch
+        global_batch = local_batch * w
+        partials = [np.zeros((global_batch, d), dtype=np.float32)
+                    for _ in range(w)]
+        for shard in ordered:
+            ids, offsets = self._global_jagged(
+                list(zip(arrived_ids[shard.rank],
+                         arrived_lengths[shard.rank])))
+            partials[shard.rank] = self._shard_tables[shard].forward(
+                ids, offsets)
+        # ReduceScatter: sum partials, deliver each rank its sub-batch
+        chunked = [[p[r * local_batch:(r + 1) * local_batch]
+                    for r in range(w)] for p in partials]
+        return self.pg.reduce_scatter(chunked)
+
+    def _backward_row_wise(self, shards: List[Shard],
+                           d_pooled: List[np.ndarray]) -> None:
+        w = self.world_size
+        gathered = self.pg.all_gather([d / w for d in d_pooled])
+        for shard in shards:
+            d_global = np.concatenate(gathered[shard.rank],
+                                      axis=0).astype(np.float32)
+            grad = self._shard_tables[shard].backward(d_global)
+            self.sparse_opt.step(self._shard_tables[shard], grad)
+
+    def _forward_data_parallel(self, shards: List[Shard],
+                               local_inputs: List[Tuple[np.ndarray,
+                                                        np.ndarray]]
+                               ) -> List[np.ndarray]:
+        by_rank = {s.rank: s for s in shards}
+        out = []
+        for r in range(self.world_size):
+            ids, offsets = local_inputs[r]
+            out.append(self._shard_tables[by_rank[r]].forward(ids, offsets))
+        return out
+
+    def _backward_data_parallel(self, shards: List[Shard],
+                                d_pooled: List[np.ndarray]) -> None:
+        by_rank = {s.rank: s for s in shards}
+        dense_grads = []
+        for r in range(self.world_size):
+            grad = self._shard_tables[by_rank[r]].backward(d_pooled[r])
+            dense_grads.append(grad.to_dense())
+        summed = self.pg.all_reduce(dense_grads)
+        for r in range(self.world_size):
+            avg = summed[r] / self.world_size
+            rows = np.nonzero(np.any(avg != 0.0, axis=1))[0]
+            sparse = SparseGradient(rows=rows.astype(np.int64),
+                                    values=avg[rows],
+                                    num_embeddings=avg.shape[0])
+            self.sparse_opt.step(self._shard_tables[by_rank[r]], sparse)
+
+    # ------------------------------------------------------------------
+    # the training step
+    # ------------------------------------------------------------------
+    def train_step(self, local_batches: List[MiniBatch]) -> float:
+        """One synchronous iteration over per-rank sub-batches.
+
+        Returns the global mean loss. All ranks advance together; the
+        update is mathematically the single-process update on the
+        concatenated global batch.
+        """
+        w = self.world_size
+        if len(local_batches) != w:
+            raise ValueError(
+                f"need {w} local batches, got {len(local_batches)}")
+        sizes = {b.batch_size for b in local_batches}
+        if len(sizes) != 1:
+            raise ValueError(f"local batches must be equal size, got {sizes}")
+        local_batch = sizes.pop()
+
+        # forward: bottom MLP (data parallel)
+        dense_out = [self.ranks[r].bottom.forward(local_batches[r].dense)
+                     for r in range(w)]
+
+        # forward: embeddings per table, per scheme
+        pooled: Dict[str, List[np.ndarray]] = {}
+        for t in self.config.tables:
+            table_plan = self.plan.tables[t.name]
+            inputs = [local_batches[r].sparse[t.name] for r in range(w)]
+            scheme = table_plan.scheme
+            if scheme == ShardingScheme.TABLE_WISE:
+                pooled[t.name] = self._forward_table_wise(
+                    t, table_plan.shards[0], inputs, local_batch)
+            elif scheme == ShardingScheme.COLUMN_WISE:
+                pooled[t.name] = self._forward_column_wise(
+                    t, table_plan.shards, inputs, local_batch)
+            elif scheme in (ShardingScheme.ROW_WISE,
+                            ShardingScheme.TABLE_ROW_WISE):
+                pooled[t.name] = self._forward_row_wise(
+                    t, table_plan.shards, inputs, local_batch)
+            else:  # DATA_PARALLEL
+                pooled[t.name] = self._forward_data_parallel(
+                    table_plan.shards, inputs)
+
+        # forward: per-feature projections + interaction + top MLP + loss
+        # (all data parallel)
+        losses = []
+        for r in range(w):
+            state = self.ranks[r]
+            features = [dense_out[r]]
+            for t in self.config.tables:
+                value = pooled[t.name][r]
+                if t.name in state.projections:
+                    value = state.projections[t.name].forward(value)
+                features.append(value)
+            interacted = state.interaction.forward_list(features)
+            logits = state.top.forward(interacted)[:, 0]
+            losses.append(state.loss_fn.forward(logits,
+                                                local_batches[r].labels))
+
+        # backward: top MLP + interaction (data parallel)
+        d_pooled: Dict[str, List[np.ndarray]] = {
+            t.name: [] for t in self.config.tables}
+        for r in range(w):
+            state = self.ranks[r]
+            for p in state.dense_parameters():
+                p.zero_grad()
+            d_logits = state.loss_fn.backward()[:, None]
+            d_inter = state.top.backward(d_logits)
+            d_features = state.interaction.backward_list(d_inter)
+            state.bottom.backward(d_features[0])
+            for i, t in enumerate(self.config.tables):
+                grad = d_features[1 + i]
+                if t.name in state.projections:
+                    grad = state.projections[t.name].backward(grad)
+                d_pooled[t.name].append(grad)
+
+        # backward: embeddings per table (exact sparse updates)
+        for t in self.config.tables:
+            table_plan = self.plan.tables[t.name]
+            scheme = table_plan.scheme
+            if scheme == ShardingScheme.TABLE_WISE:
+                self._backward_table_wise(table_plan.shards[0],
+                                          d_pooled[t.name])
+            elif scheme == ShardingScheme.COLUMN_WISE:
+                self._backward_column_wise(table_plan.shards,
+                                           d_pooled[t.name])
+            elif scheme in (ShardingScheme.ROW_WISE,
+                            ShardingScheme.TABLE_ROW_WISE):
+                self._backward_row_wise(table_plan.shards, d_pooled[t.name])
+            else:
+                self._backward_data_parallel(table_plan.shards,
+                                             d_pooled[t.name])
+
+        # gradient sync + dense optimizer (DDP semantics, bucketed —
+        # one AllReduce per ~25 MB bucket, not per parameter)
+        flat_per_rank = [
+            self._bucketer.flatten([p.grad for p in
+                                    self.ranks[r].dense_parameters()])
+            for r in range(w)]
+        for b in range(self._bucketer.num_buckets):
+            reduced = self.pg.all_reduce([flat_per_rank[r][b]
+                                          for r in range(w)])
+            for r in range(w):
+                flat_per_rank[r][b] = reduced[r]
+        for r in range(w):
+            grads = self._bucketer.unflatten(flat_per_rank[r])
+            for p, g in zip(self.ranks[r].dense_parameters(), grads):
+                p.grad = (g / w).astype(np.float32)
+            self.ranks[r].dense_opt.step()
+        self.steps += 1
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    # inspection / export
+    # ------------------------------------------------------------------
+    def gather_table(self, name: str) -> np.ndarray:
+        """Reassemble the full (H, D) weight of one table from shards."""
+        table_plan = self.plan.tables[name]
+        cfg = table_plan.config
+        if table_plan.scheme == ShardingScheme.DATA_PARALLEL:
+            return self._shard_tables[table_plan.shards[0]].weight.copy()
+        full = np.zeros((cfg.num_embeddings, cfg.embedding_dim),
+                        dtype=np.float32)
+        for shard in table_plan.shards:
+            r0, r1 = shard.row_range
+            c0, c1 = shard.col_range
+            full[r0:r1, c0:c1] = self._shard_tables[shard].weight
+        return full
+
+    def to_local_model(self, seed: int = 0) -> DLRM:
+        """Export current distributed state as a single-process DLRM."""
+        model = DLRM(self.config, seed=seed)
+        for dst, src in zip(model.dense_parameters(),
+                            self.ranks[0].dense_parameters()):
+            dst.data = src.data.copy()
+        for t in self.config.tables:
+            model.embeddings.table(t.name).weight = self.gather_table(t.name)
+        return model
+
+    def replicas_in_sync(self) -> bool:
+        """Data-parallel invariant: all dense replicas bitwise identical."""
+        ref = self.ranks[0].dense_parameters()
+        for state in self.ranks[1:]:
+            for a, b in zip(ref, state.dense_parameters()):
+                if not np.array_equal(a.data, b.data):
+                    return False
+        return True

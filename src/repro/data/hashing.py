@@ -1,0 +1,83 @@
+"""Feature hashing and model shrinking (paper Section 5.3.1).
+
+Two production techniques:
+
+* **feature hashing** — categorical values are hashed into a table's row
+  range; used both for raw id ingestion and for the paper's shrunk-model
+  methodology ("shrink the embedding table cardinality while hashing
+  inputs to be within the reduced number of rows");
+* **batch shrinking** — rewrite a :class:`MiniBatch` generated for full-
+  cardinality tables so it addresses reduced tables, preserving the
+  jagged structure and id *distribution shape* (ids collide, exactly as
+  they do in production shrinking).
+
+Hashing is multiply-shift (deterministic, vectorized); the same function
+applied twice gives the same fold, so shrunk runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..embedding.table import EmbeddingTableConfig
+from .datagen import MiniBatch
+
+__all__ = ["hash_indices", "shrink_table_configs", "shrink_batch"]
+
+_MULT = np.uint64(0x9E3779B97F4A7C15)  # 64-bit golden-ratio multiplier
+
+
+def hash_indices(indices: np.ndarray, num_buckets: int,
+                 salt: int = 0) -> np.ndarray:
+    """Multiply-shift hash of ids into ``[0, num_buckets)``.
+
+    Deterministic, uniform for adversarial id sets, vectorized. ``salt``
+    decorrelates tables that share raw id spaces.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    x = np.asarray(indices, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = (x + np.uint64(salt) + np.uint64(1)) * _MULT
+        mixed ^= mixed >> np.uint64(31)
+        mixed *= _MULT
+    return (mixed % np.uint64(num_buckets)).astype(np.int64)
+
+
+def shrink_table_configs(tables: Sequence[EmbeddingTableConfig],
+                         max_rows: int) -> tuple:
+    """Cap every table's cardinality at ``max_rows`` (Section 5.3.1)."""
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    out = []
+    for t in tables:
+        out.append(EmbeddingTableConfig(
+            name=t.name, num_embeddings=min(t.num_embeddings, max_rows),
+            embedding_dim=t.embedding_dim, avg_pooling=t.avg_pooling,
+            pooling_mode=t.pooling_mode, precision=t.precision))
+    return tuple(out)
+
+
+def shrink_batch(batch: MiniBatch,
+                 shrunk_tables: Sequence[EmbeddingTableConfig]
+                 ) -> MiniBatch:
+    """Rehash a batch's sparse ids into the shrunk tables' row ranges.
+
+    Offsets (the jagged structure) are preserved exactly; only id values
+    fold. Dense features and labels pass through untouched.
+    """
+    by_name: Dict[str, EmbeddingTableConfig] = {
+        t.name: t for t in shrunk_tables}
+    missing = set(batch.sparse) - set(by_name)
+    if missing:
+        raise KeyError(f"shrunk_tables missing {sorted(missing)}")
+    sparse = {}
+    for salt, (name, (indices, offsets)) in enumerate(
+            sorted(batch.sparse.items())):
+        table = by_name[name]
+        sparse[name] = (hash_indices(indices, table.num_embeddings,
+                                     salt=salt), offsets.copy())
+    return MiniBatch(dense=batch.dense.copy(), sparse=sparse,
+                     labels=batch.labels.copy())

@@ -1,0 +1,162 @@
+"""Reader-side feature pre-processing (paper Fig. 6, Section 4.4).
+
+The disaggregated readers "perform lightweight data pre-processing
+operations in a distributed fashion" before batches reach trainers. The
+standard DLRM transforms, composable and stateful-where-needed:
+
+* :class:`LogTransform` — ``log1p`` of non-negative dense counters;
+* :class:`DenseNormalizer` — running mean/std standardization (state
+  accumulated with Welford/Chan parallel merging so distributed readers
+  can combine their statistics exactly);
+* :class:`MissingValueImputer` — replace NaNs with a fill value;
+* :class:`FeatureHasher` — fold raw categorical ids into table ranges;
+* :class:`TransformPipeline` — ordered composition applied per batch.
+
+All transforms return new :class:`MiniBatch` objects (readers must not
+mutate buffers shared with the prefetch queue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..embedding.table import EmbeddingTableConfig
+from .datagen import MiniBatch
+from .hashing import hash_indices
+
+__all__ = ["Transform", "LogTransform", "DenseNormalizer",
+           "MissingValueImputer", "FeatureHasher", "TransformPipeline"]
+
+
+class Transform:
+    """One batch-in, batch-out preprocessing step."""
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        raise NotImplementedError
+
+    def __call__(self, batch: MiniBatch) -> MiniBatch:
+        return self.apply(batch)
+
+
+def _clone(batch: MiniBatch, dense: Optional[np.ndarray] = None,
+           sparse: Optional[Dict] = None) -> MiniBatch:
+    return MiniBatch(
+        dense=batch.dense.copy() if dense is None else dense,
+        sparse={k: (i.copy(), o.copy()) for k, (i, o) in
+                batch.sparse.items()} if sparse is None else sparse,
+        labels=batch.labels.copy())
+
+
+class LogTransform(Transform):
+    """``log(1 + max(x, 0))`` on the dense features."""
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        dense = np.log1p(np.maximum(batch.dense, 0.0)).astype(np.float32)
+        return _clone(batch, dense=dense)
+
+
+class MissingValueImputer(Transform):
+    """Replace NaNs in dense features with ``fill_value``."""
+
+    def __init__(self, fill_value: float = 0.0) -> None:
+        self.fill_value = float(fill_value)
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        dense = np.where(np.isnan(batch.dense), self.fill_value,
+                         batch.dense).astype(np.float32)
+        return _clone(batch, dense=dense)
+
+
+class DenseNormalizer(Transform):
+    """Standardize dense features with running statistics.
+
+    Statistics update on every batch (unless frozen) using Chan's
+    parallel-merge formulas, so two readers processing disjoint shards
+    can :meth:`merge` into exactly the statistics one reader would have
+    computed — the distributed-reader requirement.
+    """
+
+    def __init__(self, eps: float = 1e-6) -> None:
+        self.eps = eps
+        self.count = 0
+        self.mean: Optional[np.ndarray] = None
+        self.m2: Optional[np.ndarray] = None
+        self.frozen = False
+
+    def _update(self, dense: np.ndarray) -> None:
+        b = dense.shape[0]
+        batch_mean = dense.mean(axis=0, dtype=np.float64)
+        batch_m2 = ((dense - batch_mean) ** 2).sum(axis=0,
+                                                   dtype=np.float64)
+        if self.mean is None:
+            self.count, self.mean, self.m2 = b, batch_mean, batch_m2
+            return
+        delta = batch_mean - self.mean
+        total = self.count + b
+        self.mean = self.mean + delta * (b / total)
+        self.m2 = self.m2 + batch_m2 + delta ** 2 * (self.count * b / total)
+        self.count = total
+
+    def merge(self, other: "DenseNormalizer") -> None:
+        """Fold another reader's statistics into this one (exact)."""
+        if other.mean is None:
+            return
+        if self.mean is None:
+            self.count, self.mean, self.m2 = \
+                other.count, other.mean.copy(), other.m2.copy()
+            return
+        delta = other.mean - self.mean
+        total = self.count + other.count
+        self.mean = self.mean + delta * (other.count / total)
+        self.m2 = self.m2 + other.m2 \
+            + delta ** 2 * (self.count * other.count / total)
+        self.count = total
+
+    @property
+    def std(self) -> Optional[np.ndarray]:
+        if self.m2 is None or self.count < 2:
+            return None
+        return np.sqrt(self.m2 / self.count)
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        if not self.frozen:
+            self._update(batch.dense.astype(np.float64))
+        if self.mean is None:
+            return _clone(batch)
+        std = self.std
+        scale = np.where(std > self.eps, std, 1.0) if std is not None \
+            else np.ones_like(self.mean)
+        dense = ((batch.dense - self.mean) / scale).astype(np.float32)
+        return _clone(batch, dense=dense)
+
+
+class FeatureHasher(Transform):
+    """Fold each sparse feature's raw ids into its table's row range."""
+
+    def __init__(self, tables: Sequence[EmbeddingTableConfig]) -> None:
+        self.ranges = {t.name: t.num_embeddings for t in tables}
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        missing = set(batch.sparse) - set(self.ranges)
+        if missing:
+            raise KeyError(f"no table range for features {sorted(missing)}")
+        sparse = {}
+        for salt, (name, (ids, offsets)) in enumerate(
+                sorted(batch.sparse.items())):
+            sparse[name] = (hash_indices(ids, self.ranges[name],
+                                         salt=salt), offsets.copy())
+        return _clone(batch, sparse=sparse)
+
+
+class TransformPipeline(Transform):
+    """Ordered composition of transforms."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def apply(self, batch: MiniBatch) -> MiniBatch:
+        for t in self.transforms:
+            batch = t.apply(batch)
+        return batch

@@ -1,0 +1,34 @@
+"""Embedding operators: tables, fused lookup, exact sparse optimizers,
+reduced-precision storage and tensor-train compression (paper Section 4.1)."""
+
+from .dedup import dedup_forward, duplication_factor
+from .fused import FusedEmbeddingCollection
+from .optim import (RowWiseAdaGrad, SparseAdaGrad, SparseAdam, SparseLAMB,
+                    SparseOptimizer, SparseSGD, merge_duplicate_rows,
+                    optimizer_state_bytes)
+from .quantized import QuantizedEmbeddingTable
+from .table import (EmbeddingTable, EmbeddingTableConfig, SparseGradient,
+                    lengths_to_offsets, offsets_to_lengths)
+from .tt import TTEmbeddingTable, factorize_dims
+
+__all__ = [
+    "EmbeddingTable",
+    "EmbeddingTableConfig",
+    "SparseGradient",
+    "lengths_to_offsets",
+    "offsets_to_lengths",
+    "FusedEmbeddingCollection",
+    "SparseOptimizer",
+    "SparseSGD",
+    "SparseAdaGrad",
+    "RowWiseAdaGrad",
+    "SparseAdam",
+    "SparseLAMB",
+    "merge_duplicate_rows",
+    "optimizer_state_bytes",
+    "QuantizedEmbeddingTable",
+    "TTEmbeddingTable",
+    "factorize_dims",
+    "dedup_forward",
+    "duplication_factor",
+]

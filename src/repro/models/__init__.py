@@ -1,0 +1,15 @@
+"""DLRM model assembly and the paper's production model zoo (Table 3)."""
+
+from .dlrm import DLRM, DLRMConfig
+from .zoo import (MODEL_NAMES, TABLE3_REFERENCE, ModelSpec, full_spec,
+                  mini_config)
+
+__all__ = [
+    "DLRM",
+    "DLRMConfig",
+    "ModelSpec",
+    "full_spec",
+    "mini_config",
+    "MODEL_NAMES",
+    "TABLE3_REFERENCE",
+]

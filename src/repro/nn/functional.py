@@ -1,0 +1,70 @@
+"""Stateless numerical primitives shared by layers and losses.
+
+Everything operates on ``float32`` arrays and is written to be numerically
+stable (log-sum-exp style sigmoid/BCE) so that normalized-entropy curves in
+the Fig. 10 reproduction are not polluted by overflow artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "log_sigmoid",
+    "softmax",
+    "bce_with_logits",
+    "bce_with_logits_grad",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU w.r.t. its input, given upstream gradient ``dy``."""
+    return np.where(x > 0.0, dy, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float32)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """log(sigmoid(x)) computed without overflow for large |x|."""
+    return np.where(x >= 0, -np.log1p(np.exp(-np.abs(x))),
+                    x - np.log1p(np.exp(-np.abs(x))))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy from raw logits (stable formulation).
+
+    Matches ``torch.nn.BCEWithLogitsLoss`` semantics, which is the loss the
+    DLRM reference implementation trains CTR models with.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    # max(x, 0) - x*y + log(1 + exp(-|x|))
+    loss = np.maximum(logits, 0.0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+    return float(np.mean(loss))
+
+
+def bce_with_logits_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(mean BCE)/d(logits) = (sigmoid(x) - y) / N."""
+    n = logits.size
+    return ((sigmoid(logits) - labels) / n).astype(np.float32)

@@ -1,0 +1,61 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+experiment in the repository is reproducible bit-for-bit — the same property
+the paper relies on for debugging at scale (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "normal",
+    "uniform",
+    "zeros",
+]
+
+
+def _fan_in_out(shape: tuple) -> tuple:
+    if len(shape) != 2:
+        raise ValueError(f"expected a 2-D weight shape, got {shape}")
+    fan_out, fan_in = shape
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — the DLRM reference init for MLP weights."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He initialization, appropriate for ReLU MLP stacks."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float = -0.05,
+            high: float = 0.05) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,40 @@
+"""Loss heads with explicit gradients."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["BCEWithLogitsLoss"]
+
+
+class BCEWithLogitsLoss:
+    """Mean binary cross-entropy computed from raw logits.
+
+    ``forward`` returns a scalar loss; ``backward`` returns the gradient of
+    that scalar w.r.t. the logits (already divided by the batch size, so the
+    rest of the backward pass needs no extra scaling).
+    """
+
+    def __init__(self) -> None:
+        self._logits: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.shape != labels.shape:
+            raise ValueError(
+                f"logits shape {logits.shape} != labels shape {labels.shape}")
+        self._logits = logits
+        self._labels = labels.astype(np.float32)
+        return F.bce_with_logits(logits, labels)
+
+    def backward(self) -> np.ndarray:
+        if self._logits is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        return F.bce_with_logits_grad(self._logits, self._labels)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

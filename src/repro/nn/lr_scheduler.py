@@ -1,0 +1,115 @@
+"""Learning-rate schedules for large-batch DLRM training.
+
+Section 5.3.2 scales the global batch from 64K to 256K "with
+appropriately tuned optimizer/hyper-parameters". The standard toolkit:
+
+* **linear scaling rule** — LR proportional to batch size;
+* **warmup** — ramp from a small LR to the target over the first steps
+  (large-batch training diverges without it);
+* **polynomial / step decay** — the usual CTR production schedules.
+
+Schedulers wrap any :class:`repro.nn.Optimizer` (or sparse optimizer —
+anything with an ``lr`` attribute) and mutate its ``lr`` per step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["linear_scaled_lr", "LRScheduler", "WarmupLinearDecay",
+           "StepDecay", "PolynomialDecay"]
+
+
+def linear_scaled_lr(base_lr: float, batch_size: int,
+                     base_batch_size: int) -> float:
+    """The linear scaling rule: lr = base_lr * batch / base_batch."""
+    if base_lr <= 0 or batch_size <= 0 or base_batch_size <= 0:
+        raise ValueError("all arguments must be positive")
+    return base_lr * batch_size / base_batch_size
+
+
+class LRScheduler:
+    """Base: owns the target LR and the step counter."""
+
+    def __init__(self, optimizer, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.step_count = 0
+        self.optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; returns the LR now set on the optimizer."""
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class WarmupLinearDecay(LRScheduler):
+    """Linear warmup from ``warmup_init`` to ``base_lr``, then linear
+    decay to ``final_lr`` by ``total_steps``."""
+
+    def __init__(self, optimizer, base_lr: float, warmup_steps: int,
+                 total_steps: int, warmup_init: float = 0.0,
+                 final_lr: float = 0.0) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.warmup_init = warmup_init
+        self.final_lr = final_lr
+        super().__init__(optimizer, base_lr)
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            frac = step / max(self.warmup_steps, 1)
+            return self.warmup_init + frac * (self.base_lr
+                                              - self.warmup_init)
+        frac = min(1.0, (step - self.warmup_steps)
+                   / (self.total_steps - self.warmup_steps))
+        return self.base_lr + frac * (self.final_lr - self.base_lr)
+
+
+class StepDecay(LRScheduler):
+    """Multiply LR by ``gamma`` at each milestone step."""
+
+    def __init__(self, optimizer, base_lr: float,
+                 milestones: Sequence[int], gamma: float = 0.1) -> None:
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        if sorted(milestones) != list(milestones):
+            raise ValueError("milestones must be sorted ascending")
+        self.milestones = list(milestones)
+        self.gamma = gamma
+        super().__init__(optimizer, base_lr)
+
+    def lr_at(self, step: int) -> float:
+        passed = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class PolynomialDecay(LRScheduler):
+    """lr = base_lr * (1 - step/total)^power, floored at final_lr."""
+
+    def __init__(self, optimizer, base_lr: float, total_steps: int,
+                 power: float = 2.0, final_lr: float = 0.0) -> None:
+        if total_steps <= 0 or power <= 0:
+            raise ValueError("total_steps and power must be positive")
+        self.total_steps = total_steps
+        self.power = power
+        self.final_lr = final_lr
+        super().__init__(optimizer, base_lr)
+
+    def lr_at(self, step: int) -> float:
+        frac = min(1.0, step / self.total_steps)
+        return max(self.final_lr,
+                   self.base_lr * (1.0 - frac) ** self.power)

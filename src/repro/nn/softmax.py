@@ -1,0 +1,76 @@
+"""Softmax layer and cross-entropy loss.
+
+The Appendix A MLP benchmark terminates in a SoftMax; production DLRMs
+also ship multi-class heads (e.g. multi-task CTR variants). Both pieces
+use the numerically stable fused log-softmax formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Module
+
+__all__ = ["Softmax", "CrossEntropyLoss"]
+
+
+class Softmax(Module):
+    """Row-wise softmax with exact Jacobian-vector backward."""
+
+    def __init__(self, axis: int = -1) -> None:
+        self.axis = axis
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = F.softmax(x, axis=self.axis).astype(np.float32)
+        return self._output
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        s = self._output
+        # dx = s * (dy - sum(dy * s)) along the softmax axis
+        inner = np.sum(dy * s, axis=self.axis, keepdims=True)
+        return (s * (dy - inner)).astype(np.float32)
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy from raw logits with integer class labels.
+
+    Matches ``torch.nn.CrossEntropyLoss`` (log-softmax + NLL fused);
+    ``backward`` returns d(mean loss)/d(logits).
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (batch, classes)")
+        labels = np.asarray(labels)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} != ({logits.shape[0]},)")
+        if labels.size and (labels.min() < 0
+                            or labels.max() >= logits.shape[1]):
+            raise ValueError("labels out of class range")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.sum(np.exp(shifted), axis=1))
+        picked = shifted[np.arange(len(labels)), labels]
+        self._probs = F.softmax(logits, axis=1)
+        self._labels = labels
+        return float(np.mean(log_z - picked))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return (grad / len(self._labels)).astype(np.float32)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

@@ -1,0 +1,89 @@
+"""Model-capacity arithmetic: fitting trillion-parameter models in the
+cluster memory hierarchy (paper Section 5.3.3).
+
+The F1 study in one module: a 12T-parameter model naively needs 96 TB
+(FP32 weights + element-wise optimizer state); row-wise sparse AdaGrad
+cuts the state to one scalar per row, FP16 halves the weights, landing at
+~24 TB — just under the prototype cluster's 4 TB HBM + 24 TB DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .. import lowp
+from ..embedding.optim import optimizer_state_bytes
+from ..models.zoo import ModelSpec
+
+__all__ = ["MemoryFootprint", "model_footprint", "ClusterMemory",
+           "PROTOTYPE_CLUSTER_MEMORY", "capacity_ladder"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Bytes needed to train a model under one precision/optimizer recipe."""
+
+    weights_bytes: float
+    optimizer_bytes: float
+    label: str
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weights_bytes + self.optimizer_bytes
+
+
+def model_footprint(spec: ModelSpec, precision: str = "fp32",
+                    optimizer: str = "adagrad") -> MemoryFootprint:
+    """Embedding memory footprint of a model spec under a recipe.
+
+    The MLP parameters are negligible at this scale (megabytes vs
+    terabytes) but are included for completeness at FP32.
+    """
+    weight_bytes = spec.num_embedding_parameters * \
+        lowp.bytes_per_element(precision) + spec.num_mlp_parameters * 4
+    opt_bytes = sum(
+        optimizer_state_bytes(optimizer, t.num_embeddings, t.embedding_dim)
+        for t in spec.tables)
+    return MemoryFootprint(
+        weights_bytes=float(weight_bytes), optimizer_bytes=float(opt_bytes),
+        label=f"{precision}+{optimizer}")
+
+
+@dataclass(frozen=True)
+class ClusterMemory:
+    """Aggregate memory pools of a training cluster."""
+
+    hbm_bytes: float
+    dram_bytes: float
+    ssd_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.hbm_bytes + self.dram_bytes + self.ssd_bytes
+
+    def fits(self, footprint: MemoryFootprint,
+             use_ssd: bool = False) -> bool:
+        budget = self.hbm_bytes + self.dram_bytes \
+            + (self.ssd_bytes if use_ssd else 0.0)
+        return footprint.total_bytes <= budget
+
+    def fits_hbm(self, footprint: MemoryFootprint) -> bool:
+        return footprint.total_bytes <= self.hbm_bytes
+
+
+# the 16-node prototype of Section 5.2: 4 TB HBM + 24 TB DRAM
+PROTOTYPE_CLUSTER_MEMORY = ClusterMemory(hbm_bytes=4e12, dram_bytes=24e12)
+
+
+def capacity_ladder(spec: ModelSpec) -> List[MemoryFootprint]:
+    """The Section 5.3.3 optimization ladder for a model spec.
+
+    Returns footprints for: naive FP32 + element-wise AdaGrad, FP32 +
+    row-wise AdaGrad, FP16 + row-wise AdaGrad (the shipping recipe).
+    """
+    return [
+        model_footprint(spec, "fp32", "adagrad"),
+        model_footprint(spec, "fp32", "rowwise_adagrad"),
+        model_footprint(spec, "fp16", "rowwise_adagrad"),
+    ]

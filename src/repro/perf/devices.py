@@ -1,0 +1,87 @@
+"""Device specifications and achievable-efficiency curves (Appendix A).
+
+Peak numbers come from vendor datasheets; the *achievable* numbers are the
+paper's measured calibration points:
+
+* HBM: 850 GB/s achieved on V100 (900 peak), 1300 GB/s on A100 (1555 peak);
+* GEMM: up to 78.6% of peak on V100 FP32 and 70.5% on A100 for the MLP
+  sizes of interest (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeviceSpec", "V100", "A100", "CPU_SKYLAKE", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator (or CPU socket) as the perf model sees it.
+
+    ``peak_flops`` maps precision name to peak FLOP/s; ``max_efficiency``
+    is the measured ceiling of achievable/peak for large GEMMs;
+    ``gemm_half_flops`` is the per-GEMM FLOP count at which efficiency
+    reaches half its ceiling (captures small-problem launch/tiling
+    overheads that Figs. 14-17 show at small batch sizes).
+    """
+
+    name: str
+    peak_flops: Dict[str, float]
+    max_efficiency: Dict[str, float]
+    hbm_peak_bw: float
+    hbm_achievable_bw: float
+    hbm_capacity: float
+    gemm_half_flops: float = 5e8
+    kernel_launch_overhead: float = 5e-6
+
+    def achievable_flops(self, precision: str, flops_per_gemm: float) -> float:
+        """Effective FLOP/s for a GEMM of the given size."""
+        if precision not in self.peak_flops:
+            raise ValueError(
+                f"{self.name} does not support precision {precision!r}; "
+                f"supported: {sorted(self.peak_flops)}")
+        peak = self.peak_flops[precision]
+        ceiling = self.max_efficiency[precision]
+        saturation = flops_per_gemm / (flops_per_gemm + self.gemm_half_flops)
+        return peak * ceiling * saturation
+
+    @property
+    def memory_efficiency(self) -> float:
+        return self.hbm_achievable_bw / self.hbm_peak_bw
+
+
+V100 = DeviceSpec(
+    name="V100",
+    peak_flops={"fp32": 15.7e12, "fp16": 125e12},
+    max_efficiency={"fp32": 0.786, "fp16": 0.50},
+    hbm_peak_bw=900e9,
+    hbm_achievable_bw=850e9,
+    hbm_capacity=32e9,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    peak_flops={"fp32": 19.5e12, "tf32": 156e12, "fp16": 312e12,
+                "bf16": 312e12},
+    max_efficiency={"fp32": 0.90, "tf32": 0.705, "fp16": 0.55, "bf16": 0.55},
+    hbm_peak_bw=1555e9,
+    hbm_achievable_bw=1300e9,
+    hbm_capacity=40e9,
+)
+
+# one dual-socket trainer host of the previous-generation CPU fleet
+CPU_SKYLAKE = DeviceSpec(
+    name="CPU-Skylake",
+    peak_flops={"fp32": 3.2e12},
+    max_efficiency={"fp32": 0.55},
+    hbm_peak_bw=256e9,        # DDR4 6-channel x2 sockets
+    hbm_achievable_bw=180e9,
+    hbm_capacity=256e9,
+    gemm_half_flops=5e7,
+    kernel_launch_overhead=1e-6,
+)
+
+DEVICES: Dict[str, DeviceSpec] = {d.name: d for d in (V100, A100,
+                                                      CPU_SKYLAKE)}

@@ -1,0 +1,116 @@
+"""Cluster sizing for online training (paper Sections 1, 4.1.3).
+
+Online (recurrent/continuous) training has a *lower* throughput
+requirement than offline pre-training, so it should run on
+proportionally fewer nodes — which only works if the model still *fits*
+on the smaller cluster, the exact situation that motivates hierarchical
+memory: fewer nodes means less aggregate HBM, so tables spill to DRAM
+behind the software cache and lookups slow down.
+
+:func:`min_nodes_for` finds the smallest cluster that satisfies both the
+capacity constraint (model fits in HBM+DRAM) and the throughput target,
+accounting for the hierarchy slowdown when the model overflows HBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..comms import PROTOTYPE_TOPOLOGY
+from ..models.zoo import ModelSpec
+from .capacity import model_footprint
+from .iteration import TrainingSetup, qps
+
+__all__ = ["NodeSizing", "hierarchy_bw_fraction", "min_nodes_for",
+           "sizing_sweep"]
+
+# per-node memory of the prototype platform (Table 2)
+_HBM_PER_NODE = 256e9
+_DRAM_PER_NODE = 1.5e12
+# sustained bandwidths for the blended-lookup estimate
+_HBM_BW = 850e9 * 8      # aggregate per node
+_DRAM_VIA_PCIE_BW = 12e9 * 8  # what the GPUs can pull from DRAM
+
+
+@dataclass(frozen=True)
+class NodeSizing:
+    """Evaluation of one candidate node count."""
+
+    nodes: int
+    fits: bool
+    hbm_fraction: float        # fraction of model bytes resident in HBM
+    bw_fraction: float         # effective lookup bw vs pure-HBM
+    achieved_qps: float
+    meets_target: bool
+
+
+def hierarchy_bw_fraction(hbm_fraction: float,
+                          cache_hit_boost: float = 0.5) -> float:
+    """Effective lookup bandwidth (relative to HBM) when only
+    ``hbm_fraction`` of the model is HBM-resident.
+
+    Accesses to the DRAM-resident part mostly *hit the software cache*
+    (hot rows get cached in HBM); ``cache_hit_boost`` is the fraction of
+    DRAM-part accesses served by the cache under Zipf traffic. The rest
+    crawl over PCIe.
+    """
+    if not 0.0 <= hbm_fraction <= 1.0:
+        raise ValueError("hbm_fraction must be in [0, 1]")
+    if not 0.0 <= cache_hit_boost < 1.0:
+        raise ValueError("cache_hit_boost must be in [0, 1)")
+    hbm_served = hbm_fraction + (1 - hbm_fraction) * cache_hit_boost
+    pcie_served = 1.0 - hbm_served
+    time_per_byte = hbm_served / _HBM_BW + pcie_served / _DRAM_VIA_PCIE_BW
+    pure_hbm_time = 1.0 / _HBM_BW
+    return pure_hbm_time / time_per_byte
+
+
+def _evaluate(spec: ModelSpec, nodes: int, target_qps: float,
+              precision: str, optimizer: str,
+              per_gpu_batch: int) -> NodeSizing:
+    footprint = model_footprint(spec, precision, optimizer)
+    hbm_total = nodes * _HBM_PER_NODE
+    total_mem = nodes * (_HBM_PER_NODE + _DRAM_PER_NODE)
+    fits = footprint.total_bytes <= total_mem
+    hbm_fraction = min(1.0, hbm_total / footprint.total_bytes) \
+        if footprint.total_bytes > 0 else 1.0
+    bw_fraction = hierarchy_bw_fraction(hbm_fraction)
+    achieved = 0.0
+    if fits:
+        topo = PROTOTYPE_TOPOLOGY(nodes)
+        setup = TrainingSetup(
+            spec=spec, topology=topo,
+            global_batch=per_gpu_batch * topo.world_size,
+            embedding_precision="fp16" if precision == "fp16" else "fp32",
+            memory_hierarchy_bw_fraction=max(bw_fraction, 1e-3),
+            load_imbalance=1.1)
+        achieved = qps(setup)
+    return NodeSizing(nodes=nodes, fits=fits, hbm_fraction=hbm_fraction,
+                      bw_fraction=bw_fraction, achieved_qps=achieved,
+                      meets_target=fits and achieved >= target_qps)
+
+
+def min_nodes_for(spec: ModelSpec, target_qps: float,
+                  precision: str = "fp16",
+                  optimizer: str = "rowwise_adagrad",
+                  per_gpu_batch: int = 512,
+                  max_nodes: int = 64) -> Optional[NodeSizing]:
+    """Smallest node count meeting capacity + throughput, or None."""
+    if target_qps <= 0:
+        raise ValueError("target_qps must be positive")
+    for nodes in range(1, max_nodes + 1):
+        sizing = _evaluate(spec, nodes, target_qps, precision, optimizer,
+                           per_gpu_batch)
+        if sizing.meets_target:
+            return sizing
+    return None
+
+
+def sizing_sweep(spec: ModelSpec, target_qps: float,
+                 node_counts: List[int], precision: str = "fp16",
+                 optimizer: str = "rowwise_adagrad",
+                 per_gpu_batch: int = 512) -> List[NodeSizing]:
+    """Evaluate a list of node counts (for the online-training bench)."""
+    return [_evaluate(spec, n, target_qps, precision, optimizer,
+                      per_gpu_batch) for n in node_counts]

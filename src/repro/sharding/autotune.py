@@ -1,0 +1,118 @@
+"""Scheme-assignment auto-tuning for the sharding planner.
+
+Section 4.2.5: "practitioners can mix-and-match the above primitives to
+determine the best strategy to shard a group of embedding tables". The
+heuristic planner picks a scheme per table from local rules; this module
+closes the loop by *searching* scheme assignments against the modeled
+per-iteration cost (the maximum rank load, i.e. the straggler), which is
+what actually bounds synchronous training.
+
+The search is greedy coordinate descent: start from the heuristic plan,
+then repeatedly try flipping one table's scheme to each legal alternative
+and keep the flip that most reduces the straggler cost, until no flip
+helps. Polynomial, deterministic, and in practice a handful of sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..embedding.table import EmbeddingTableConfig
+from .cost_model import CostModelParams
+from .planner import EmbeddingShardingPlanner, PlannerConfig, \
+    plan_cost_per_rank
+from .schemes import ShardingPlan, ShardingScheme
+
+__all__ = ["AutotuneResult", "legal_schemes", "autotune_schemes"]
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of a scheme-assignment search."""
+
+    plan: ShardingPlan
+    schemes: Dict[str, ShardingScheme]
+    initial_cost: float
+    final_cost: float
+    flips: List[Tuple[str, ShardingScheme, ShardingScheme]] = field(
+        default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Relative straggler-cost reduction achieved by the search."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+def legal_schemes(table: EmbeddingTableConfig,
+                  config: PlannerConfig) -> List[ShardingScheme]:
+    """Schemes a table may use under the planner's memory constraints."""
+    table_bytes = table.num_parameters * config.bytes_per_element
+    fits_device = table_bytes <= config.device_memory_bytes
+    options: List[ShardingScheme] = []
+    if fits_device:
+        options.append(ShardingScheme.TABLE_WISE)
+        if config.allow_column_wise and table.embedding_dim >= 8:
+            options.append(ShardingScheme.COLUMN_WISE)
+        if config.allow_data_parallel and \
+                table.num_embeddings <= config.dp_threshold_rows * 10:
+            options.append(ShardingScheme.DATA_PARALLEL)
+    options.append(ShardingScheme.ROW_WISE)
+    return options
+
+
+def _straggler_cost(plan: ShardingPlan, params: CostModelParams) -> float:
+    return max(plan_cost_per_rank(plan, params))
+
+
+def autotune_schemes(tables: Sequence[EmbeddingTableConfig],
+                     planner_config: PlannerConfig,
+                     cost_params: Optional[CostModelParams] = None,
+                     max_sweeps: int = 3) -> AutotuneResult:
+    """Greedy coordinate-descent over per-table scheme assignments.
+
+    Each sweep visits every table (heaviest first), evaluates each legal
+    alternative scheme by replanning and measuring the straggler cost,
+    and keeps the best. Stops when a full sweep produces no improvement
+    or after ``max_sweeps``.
+    """
+    if max_sweeps <= 0:
+        raise ValueError("max_sweeps must be positive")
+    planner = EmbeddingShardingPlanner(planner_config,
+                                       cost_params=cost_params)
+    params = planner.cost_params
+    schemes: Dict[str, ShardingScheme] = {
+        t.name: planner.choose_scheme(t) for t in tables}
+    plan = planner.plan(tables, schemes=dict(schemes))
+    initial = _straggler_cost(plan, params)
+    best_cost = initial
+    flips: List[Tuple[str, ShardingScheme, ShardingScheme]] = []
+
+    order = sorted(tables, key=lambda t: t.num_parameters, reverse=True)
+    for _ in range(max_sweeps):
+        improved = False
+        for table in order:
+            current = schemes[table.name]
+            for candidate in legal_schemes(table, planner_config):
+                if candidate == current:
+                    continue
+                trial = dict(schemes)
+                trial[table.name] = candidate
+                try:
+                    trial_plan = planner.plan(tables, schemes=trial)
+                except ValueError:
+                    continue
+                cost = _straggler_cost(trial_plan, params)
+                if cost < best_cost * (1 - 1e-9):
+                    best_cost = cost
+                    schemes = trial
+                    plan = trial_plan
+                    flips.append((table.name, current, candidate))
+                    current = candidate
+                    improved = True
+        if not improved:
+            break
+    return AutotuneResult(plan=plan, schemes=schemes, initial_cost=initial,
+                          final_cost=best_cost, flips=flips)

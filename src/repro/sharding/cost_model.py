@@ -1,0 +1,144 @@
+"""Cost model for embedding shard placement (paper Section 3.0.1).
+
+For a table of shape ``(H, D)`` with average pooling size ``L`` under
+global batch ``B`` and world size ``W``:
+
+* distributing pooling input (indices) costs ``O(B * L)`` — each id is an
+  8-byte int on the wire;
+* the pooled lookup itself reads ``O(B * L * D)`` bytes of rows out of HBM
+  (``H`` matters only through cache locality, modelled as a mild factor);
+* communicating the pooled output costs ``O(B * D)`` per direction.
+
+The model combines these into per-shard communication bytes, HBM traffic
+bytes, and a scalar *cost* (estimated microseconds on a reference device)
+that the partitioners balance across ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..embedding.table import EmbeddingTableConfig
+from .schemes import Shard, ShardingScheme
+
+__all__ = ["CostModelParams", "ShardCost", "shard_cost", "table_cost"]
+
+_INDEX_BYTES = 8  # int64 ids on the wire
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Platform constants the cost model charges against.
+
+    Defaults correspond to one V100 of the prototype cluster (Table 2):
+    850 GB/s achieved HBM bandwidth, 7 GB/s AlltoAll, 2.5 us per-message
+    latency, and FP32 pooled outputs.
+    """
+
+    global_batch: int = 65536
+    world_size: int = 128
+    hbm_bw_bytes_per_s: float = 850e9
+    network_bw_bytes_per_s: float = 7e9
+    message_latency_s: float = 2.5e-6
+    output_dtype_bytes: int = 4
+    # mild penalty for tables too large to stay cache/TLB resident
+    cache_resident_rows: int = 4_000_000
+
+    def locality_factor(self, num_rows: int) -> float:
+        """HBM traffic inflation for very large tables (poor row reuse)."""
+        if num_rows <= self.cache_resident_rows:
+            return 1.0
+        return 1.0 + 0.25 * min(
+            1.0, num_rows / (16 * self.cache_resident_rows))
+
+
+@dataclass(frozen=True)
+class ShardCost:
+    """Cost components of one shard for one training iteration."""
+
+    input_bytes: int     # index redistribution (forward, on the wire)
+    forward_bytes: int   # pooled embeddings out (AlltoAll / ReduceScatter)
+    backward_bytes: int  # gradients of pooled embeddings back in
+    hbm_bytes: int       # lookup + update traffic on the owning device
+    compute_seconds: float
+    comms_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comms_seconds
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return self.input_bytes + self.forward_bytes + self.backward_bytes
+
+
+def shard_cost(config: EmbeddingTableConfig, shard: Shard,
+               scheme: ShardingScheme,
+               params: CostModelParams) -> ShardCost:
+    """Per-iteration cost of hosting ``shard`` under ``scheme``.
+
+    Model-parallel shards process the *global* batch for their slice of the
+    table (the weak-scaling property discussed in Section 5.3.1);
+    data-parallel replicas process only the local sub-batch but pay an
+    AllReduce over the whole table.
+    """
+    b_global = params.global_batch
+    w = params.world_size
+    l_avg = config.avg_pooling
+    d_shard = shard.num_cols
+    h_shard = shard.num_rows
+    nnz_global = b_global * l_avg
+
+    if scheme == ShardingScheme.DATA_PARALLEL:
+        # local sub-batch lookup; gradient AllReduce over the full replica.
+        b_local = b_global / w
+        hbm = int(2 * b_local * l_avg * d_shard * 4)
+        # ring AllReduce moves ~2x table bytes per rank
+        allreduce_bytes = int(2 * h_shard * d_shard * 4)
+        compute = hbm / params.hbm_bw_bytes_per_s
+        comms = (allreduce_bytes / params.network_bw_bytes_per_s
+                 + params.message_latency_s)
+        return ShardCost(input_bytes=0, forward_bytes=0,
+                         backward_bytes=allreduce_bytes, hbm_bytes=hbm,
+                         compute_seconds=compute, comms_seconds=comms)
+
+    # model-parallel schemes: shard sees the global batch
+    if scheme in (ShardingScheme.ROW_WISE, ShardingScheme.TABLE_ROW_WISE):
+        # only indices landing in this shard's row range arrive here
+        row_fraction = h_shard / config.num_embeddings
+        input_bytes = int(nnz_global * row_fraction * _INDEX_BYTES)
+        # partial sums ReduceScatter: every shard emits a full-width pooled
+        # tensor for the whole global batch; cost scales with W (Sec 4.2.2)
+        forward_bytes = int(b_global * d_shard * params.output_dtype_bytes)
+        lookup_nnz = nnz_global * row_fraction
+    elif scheme == ShardingScheme.COLUMN_WISE:
+        # indices are duplicated to every column shard (Sec 4.2.3)
+        input_bytes = int(nnz_global * _INDEX_BYTES)
+        forward_bytes = int(b_global * d_shard * params.output_dtype_bytes)
+        lookup_nnz = nnz_global
+    else:  # TABLE_WISE
+        input_bytes = int(nnz_global * _INDEX_BYTES)
+        forward_bytes = int(b_global * d_shard * params.output_dtype_bytes)
+        lookup_nnz = nnz_global
+
+    backward_bytes = forward_bytes
+    locality = params.locality_factor(h_shard)
+    # forward row reads + backward row updates (read-modify-write ~ 2x)
+    hbm = int(3 * lookup_nnz * d_shard * 4 * locality)
+    compute = hbm / params.hbm_bw_bytes_per_s
+    comms = ((input_bytes + forward_bytes + backward_bytes)
+             / params.network_bw_bytes_per_s
+             + 3 * params.message_latency_s)
+    return ShardCost(input_bytes=input_bytes, forward_bytes=forward_bytes,
+                     backward_bytes=backward_bytes, hbm_bytes=hbm,
+                     compute_seconds=compute, comms_seconds=comms)
+
+
+def table_cost(config: EmbeddingTableConfig,
+               params: CostModelParams) -> float:
+    """Scalar cost of a whole table if placed table-wise — the quantity the
+    partitioners balance when deciding placement."""
+    shard = Shard(config.name, 0, (0, config.num_embeddings),
+                  (0, config.embedding_dim))
+    return shard_cost(config, shard, ShardingScheme.TABLE_WISE,
+                      params).total_seconds

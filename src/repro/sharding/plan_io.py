@@ -1,0 +1,75 @@
+"""Sharding-plan serialization.
+
+Production plans are deployment artifacts: the sharder runs once, the
+plan ships with the job, and restarted trainers must reconstruct the
+*identical* placement (checkpointed shards only load back onto the ranks
+that own them). JSON round-tripping with full validation covers that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..embedding.table import EmbeddingTableConfig
+from .schemes import Shard, ShardingPlan, ShardingScheme, TableShardingPlan
+
+__all__ = ["plan_to_dict", "plan_from_dict", "save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: ShardingPlan) -> Dict:
+    """Plain-dict form of a plan (stable across releases via version)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "world_size": plan.world_size,
+        "tables": {
+            name: {
+                "scheme": tp.scheme.value,
+                "config": {
+                    "name": tp.config.name,
+                    "num_embeddings": tp.config.num_embeddings,
+                    "embedding_dim": tp.config.embedding_dim,
+                    "avg_pooling": tp.config.avg_pooling,
+                    "pooling_mode": tp.config.pooling_mode,
+                    "precision": tp.config.precision,
+                },
+                "shards": [
+                    {"rank": s.rank,
+                     "rows": list(s.row_range),
+                     "cols": list(s.col_range)}
+                    for s in tp.shards],
+            }
+            for name, tp in plan.tables.items()
+        },
+    }
+
+
+def plan_from_dict(data: Dict) -> ShardingPlan:
+    """Reconstruct and validate a plan from its dict form."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {version!r}")
+    plan = ShardingPlan(world_size=int(data["world_size"]))
+    for name, tp in data["tables"].items():
+        cfg = EmbeddingTableConfig(**tp["config"])
+        shards = [Shard(table=name, rank=int(s["rank"]),
+                        row_range=tuple(s["rows"]),
+                        col_range=tuple(s["cols"]))
+                  for s in tp["shards"]]
+        plan.tables[name] = TableShardingPlan(
+            config=cfg, scheme=ShardingScheme(tp["scheme"]), shards=shards)
+    plan.validate()
+    return plan
+
+
+def save_plan(plan: ShardingPlan, path: str) -> None:
+    plan.validate()
+    with open(path, "w") as f:
+        json.dump(plan_to_dict(plan), f, indent=2, sort_keys=True)
+
+
+def load_plan(path: str) -> ShardingPlan:
+    with open(path) as f:
+        return plan_from_dict(json.load(f))

@@ -1,0 +1,35 @@
+"""Shared test utilities: numerical gradient checking and tolerances."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar function ``f`` at ``x``.
+
+    Uses float64 internally; callers should compare with rtol around 1e-2
+    because the layers themselves compute in float32.
+    """
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f(x.astype(np.float32))
+        x[idx] = orig - eps
+        f_minus = f(x.astype(np.float32))
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_close(actual: np.ndarray, expected: np.ndarray,
+                 rtol: float = 1e-2, atol: float = 1e-4) -> None:
+    np.testing.assert_allclose(actual, expected, rtol=rtol, atol=atol)

@@ -1,0 +1,149 @@
+"""Tests for the async parameter-server and Zion baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (AsyncPSTrainer, ZionSetup, ps_throughput_qps,
+                             zion_iteration_time, zion_qps,
+                             zion_vs_zionex_scaling)
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig
+from repro.metrics import normalized_entropy
+from repro.models import DLRMConfig, full_spec
+
+
+def small_config(num_tables=2, h=64, d=8):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", h, d, avg_pooling=3.0)
+                   for i in range(num_tables))
+    return DLRMConfig(dense_dim=4, bottom_mlp=(16, d), tables=tables,
+                      top_mlp=(16,))
+
+
+class TestAsyncPSTrainer:
+    def test_step_returns_loss(self):
+        cfg = small_config()
+        trainer = AsyncPSTrainer(cfg, num_trainers=4)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4)
+        loss = trainer.step(ds.batch(16))
+        assert np.isfinite(loss)
+        assert trainer.clock == 1
+
+    def test_gradients_delayed_by_staleness(self):
+        """Weights unchanged until the staleness window elapses."""
+        cfg = small_config()
+        trainer = AsyncPSTrainer(cfg, num_trainers=4, staleness=3)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4)
+        before = trainer._ps_model.embeddings.table("t0").weight.copy()
+        trainer.step(ds.batch(8, 0))
+        np.testing.assert_array_equal(
+            trainer._ps_model.embeddings.table("t0").weight, before)
+        for i in range(4):
+            trainer.step(ds.batch(8, 1 + i))
+        assert not np.array_equal(
+            trainer._ps_model.embeddings.table("t0").weight, before)
+
+    def test_zero_staleness_applies_next_step(self):
+        cfg = small_config()
+        trainer = AsyncPSTrainer(cfg, num_trainers=2, staleness=0)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4)
+        before = trainer._ps_model.embeddings.table("t0").weight.copy()
+        trainer.step(ds.batch(8, 0))
+        trainer.step(ds.batch(8, 1))
+        assert not np.array_equal(
+            trainer._ps_model.embeddings.table("t0").weight, before)
+
+    def test_training_learns(self):
+        """Async PS still learns the synthetic task (NE < 1)."""
+        cfg = small_config(h=64)
+        trainer = AsyncPSTrainer(cfg, num_trainers=4, lr=0.05, seed=0)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4, noise=0.2, seed=1)
+        trainer.train(ds, batch_size=32, num_steps=200)
+        model = trainer.snapshot()
+        test = ds.batch(2048, 99_999)
+        ne = normalized_entropy(model.predict_proba(test), test.labels)
+        assert ne < 0.99
+
+    def test_staleness_hurts_quality(self):
+        """The Section 2 motivation: more async staleness, worse model."""
+        cfg = small_config(h=64)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4, noise=0.2, seed=1)
+        nes = {}
+        for staleness in (0, 64):
+            trainer = AsyncPSTrainer(cfg, num_trainers=4, lr=0.2,
+                                     staleness=staleness, seed=0)
+            trainer.train(ds, batch_size=16, num_steps=300)
+            model = trainer.snapshot()
+            test = ds.batch(4096, 99_999)
+            nes[staleness] = normalized_entropy(
+                model.predict_proba(test), test.labels)
+        assert nes[64] > nes[0]
+
+    def test_validation(self):
+        cfg = small_config()
+        with pytest.raises(ValueError):
+            AsyncPSTrainer(cfg, num_trainers=0)
+        with pytest.raises(ValueError):
+            AsyncPSTrainer(cfg, staleness=-1)
+        with pytest.raises(ValueError):
+            AsyncPSTrainer(cfg, easgd_alpha=0.0)
+        with pytest.raises(ValueError):
+            AsyncPSTrainer(cfg, sync_period=0)
+
+    def test_snapshot_does_not_mutate(self):
+        cfg = small_config()
+        trainer = AsyncPSTrainer(cfg, num_trainers=2)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4)
+        trainer.train(ds, batch_size=8, num_steps=5)
+        snap = trainer.snapshot()
+        snap.embeddings.table("t0").weight[:] = 0
+        assert not np.array_equal(
+            trainer._ps_model.embeddings.table("t0").weight,
+            snap.embeddings.table("t0").weight)
+
+
+class TestPSThroughputModel:
+    def test_a1_3x_claim(self):
+        """Table 4: A1 at 16 GPUs (273K) is ~3x the CPU PS system."""
+        cpu_qps = ps_throughput_qps(full_spec("A1"), num_trainers=16,
+                                    num_ps=16)
+        assert 273e3 / 6 < cpu_qps < 273e3  # CPU clearly slower, right scale
+
+    def test_scales_with_trainers(self):
+        spec = full_spec("A1")
+        assert ps_throughput_qps(spec, num_trainers=32) > \
+            ps_throughput_qps(spec, num_trainers=16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ps_throughput_qps(full_spec("A1"), num_trainers=0)
+
+
+class TestZionModel:
+    def test_single_node_iteration_positive(self):
+        setup = ZionSetup(spec=full_spec("A1"), num_nodes=1,
+                          global_batch=4096)
+        assert zion_iteration_time(setup) > 0
+
+    def test_zionex_wins_at_scale(self):
+        """Section 3.1: ZionEX scales, Zion does not."""
+        curves = zion_vs_zionex_scaling(full_spec("A2"), [1, 2, 4, 8, 16])
+        # at 16 nodes ZionEX clearly ahead
+        assert curves["zionex"][16] > 2 * curves["zion"][16]
+
+    def test_zion_scaling_degrades(self):
+        """Section 3.1: Zion is 'very difficult to scale out' — its
+        weak-scaling efficiency drops well below 1 and its absolute
+        throughput falls far behind ZionEX at cluster scale. (Relative
+        efficiency alone can flatter Zion because its single-node
+        baseline is already DRAM/PCIe-bound.)"""
+        curves = zion_vs_zionex_scaling(full_spec("A2"), [1, 16])
+        zion_eff = curves["zion"][16] / (16 * curves["zion"][1])
+        assert zion_eff < 0.75
+        assert curves["zion"][16] < 0.5 * curves["zionex"][16]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZionSetup(spec=full_spec("A1"), num_nodes=0)
+        with pytest.raises(ValueError):
+            ZionSetup(spec=full_spec("A1"), num_nodes=3,
+                      global_batch=65537)

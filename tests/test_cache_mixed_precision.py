@@ -1,0 +1,130 @@
+"""Tests for the mixed-precision cache: FP32 accumulation over FP16/INT8
+backing tables (the [57] design)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (LowPrecisionBackingStore,
+                         MixedPrecisionEmbeddingTable)
+from repro.embedding import EmbeddingTableConfig, SparseGradient
+
+
+def make_table(h=64, d=8, cache_rows=32, precision="fp16", seed=0):
+    cfg = EmbeddingTableConfig("mp", h, d)
+    return MixedPrecisionEmbeddingTable(
+        cfg, cache_rows=cache_rows, ways=32, precision=precision,
+        rng=np.random.default_rng(seed))
+
+
+def grad_for(rows, values, h=64):
+    return SparseGradient(rows=np.asarray(rows, dtype=np.int64),
+                          values=np.asarray(values, dtype=np.float32),
+                          num_embeddings=h)
+
+
+class TestLowPrecisionBackingStore:
+    def test_writes_round(self):
+        store = LowPrecisionBackingStore(np.ones((4, 2)), precision="fp16")
+        store.write_rows(np.array([0]),
+                         np.array([[1.0 + 2 ** -13, 1.0]],
+                                  dtype=np.float32))
+        assert store.read_rows(np.array([0]))[0][0] == np.float32(1.0)
+
+    def test_storage_bytes(self):
+        store = LowPrecisionBackingStore(np.zeros((10, 8)),
+                                         precision="fp16")
+        assert store.storage_bytes() == 10 * 8 * 2
+        store8 = LowPrecisionBackingStore(np.zeros((10, 8)),
+                                          precision="int8")
+        assert store8.storage_bytes() == 10 * 8 + 10 * 8
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            LowPrecisionBackingStore(np.zeros((2, 2)), precision="fp32")
+
+
+class TestMixedPrecisionTable:
+    def test_forward_matches_backing(self):
+        table = make_table()
+        out = table.forward(np.array([3], dtype=np.int64),
+                            np.array([0, 1], dtype=np.int64))
+        np.testing.assert_array_equal(out[0], table.backing.rows[3])
+
+    def test_hot_row_accumulates_small_updates(self):
+        """THE mixed-precision claim: updates below the fp16 ULP survive
+        in the FP32 cache, but would vanish in a pure-fp16 table."""
+        h, d = 64, 8
+        start = np.ones((h, d), dtype=np.float32)
+        mixed = MixedPrecisionEmbeddingTable(
+            EmbeddingTableConfig("mp", h, d), cache_rows=64,
+            precision="fp16", weight=start)
+        pure = LowPrecisionBackingStore(start.copy(), precision="fp16")
+
+        tiny = 1e-4  # below fp16 ULP at 1.0 (~4.9e-4)
+        steps = 50
+        hot = np.array([5], dtype=np.int64)
+        offsets = np.array([0, 1], dtype=np.int64)
+        for _ in range(steps):
+            mixed.forward(hot, offsets)
+            g = mixed.backward(np.full((1, d), 1.0, dtype=np.float32))
+            mixed.sgd_step(g, lr=tiny)
+            # pure low-precision path: read, update, write back (rounds)
+            row = pure.read_rows(hot)
+            pure.write_rows(hot, row - tiny)
+
+        # pure fp16 lost every update
+        np.testing.assert_array_equal(pure.read_rows(hot)[0],
+                                      np.ones(d, dtype=np.float32))
+        # the cache accumulated them; flush rounds ONCE
+        final = mixed.checkpoint()
+        expected = 1.0 - steps * tiny
+        assert final[5][0] == pytest.approx(expected, abs=5e-4)
+        assert final[5][0] < 1.0  # progress was actually made
+
+    def test_cold_rows_round_per_touch(self):
+        """Rows evicted between touches round each time — bounded loss."""
+        table = make_table(h=256, d=4, cache_rows=32)
+        offsets = np.array([0, 1], dtype=np.int64)
+        # touch 64 distinct rows against a 32-row cache to force evictions
+        for row in range(0, 256, 4):
+            ids = np.array([row], dtype=np.int64)
+            table.forward(ids, offsets)
+            g = table.backward(np.ones((1, 4), dtype=np.float32))
+            table.sgd_step(g, lr=0.01)
+        assert table.cache.stats.evictions > 0
+        final = table.checkpoint()
+        assert np.all(np.isfinite(final))
+
+    def test_checkpoint_flushes_once(self):
+        table = make_table()
+        ids = np.array([1], dtype=np.int64)
+        offsets = np.array([0, 1], dtype=np.int64)
+        table.forward(ids, offsets)
+        g = table.backward(np.ones((1, 8), dtype=np.float32))
+        table.sgd_step(g, lr=0.5)
+        ckpt = table.checkpoint()
+        # after flush, backing matches checkpoint and is fp16-rounded
+        np.testing.assert_array_equal(ckpt, table.backing.rows)
+        from repro import lowp
+        np.testing.assert_array_equal(ckpt, lowp.fp16_roundtrip(ckpt))
+
+    def test_memory_bytes_accounting(self):
+        table = make_table(h=100, d=8, cache_rows=32, precision="fp16")
+        expected = 100 * 8 * 2 + 32 * 8 * 4
+        assert table.memory_bytes() == expected
+        # mixed precision beats full fp32 when cache << table
+        assert table.memory_bytes() < 100 * 8 * 4
+
+    def test_int8_backing(self):
+        table = make_table(precision="int8")
+        out = table.forward(np.array([0, 1], dtype=np.int64),
+                            np.array([0, 2], dtype=np.int64))
+        assert np.all(np.isfinite(out))
+
+    def test_cache_too_small_raises(self):
+        with pytest.raises(ValueError):
+            make_table(cache_rows=16)  # < ways (32)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            make_table().backward(np.zeros((1, 8), dtype=np.float32))

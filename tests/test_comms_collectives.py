@@ -1,0 +1,160 @@
+"""Tests for exact collectives: correctness identities and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lowp
+from repro.comms import collectives as C
+
+
+def rank_arrays(world, shape=(4,), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape).astype(np.float32) for _ in range(world)]
+
+
+class TestAllReduce:
+    def test_sum_semantics(self):
+        xs = rank_arrays(4)
+        out = C.all_reduce(xs)
+        expected = sum(xs)
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-6)
+
+    def test_all_ranks_identical(self):
+        out = C.all_reduce(rank_arrays(3))
+        for o in out[1:]:
+            np.testing.assert_array_equal(o, out[0])
+
+    def test_outputs_independent(self):
+        out = C.all_reduce(rank_arrays(2))
+        out[0][0] = 999.0
+        assert out[1][0] != 999.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            C.all_reduce([np.zeros(3), np.zeros(4)])
+
+    def test_empty_world_raises(self):
+        with pytest.raises(ValueError):
+            C.all_reduce([])
+
+    def test_bitwise_repeatable(self):
+        xs = rank_arrays(8, seed=3)
+        a = C.all_reduce(xs)[0]
+        b = C.all_reduce(xs)[0]
+        assert np.array_equal(a, b)
+
+    def test_codec_applied_before_reduction(self):
+        xs = [np.array([1.0 + 2 ** -12], dtype=np.float32),
+              np.array([1.0], dtype=np.float32)]
+        out = C.all_reduce(xs, codec=lowp.fp16_roundtrip)
+        # first input rounds to 1.0 in fp16, so the sum is exactly 2.0
+        assert out[0][0] == np.float32(2.0)
+
+
+class TestAllGather:
+    def test_gathers_all(self):
+        xs = rank_arrays(3)
+        out = C.all_gather(xs)
+        for rank_view in out:
+            assert len(rank_view) == 3
+            for got, want in zip(rank_view, xs):
+                np.testing.assert_array_equal(got, want)
+
+
+class TestReduceScatter:
+    def test_chunk_sums(self):
+        world = 3
+        inputs = [[np.full(2, r * 10 + c, dtype=np.float32)
+                   for c in range(world)] for r in range(world)]
+        out = C.reduce_scatter(inputs)
+        for c in range(world):
+            expected = sum(inputs[r][c] for r in range(world))
+            np.testing.assert_allclose(out[c], expected)
+
+    def test_wrong_chunk_count_raises(self):
+        with pytest.raises(ValueError):
+            C.reduce_scatter([[np.zeros(2)], [np.zeros(2)]])
+
+    def test_rs_plus_ag_equals_allreduce(self):
+        """reduce_scatter + all_gather == all_reduce (DESIGN invariant 2)."""
+        world = 4
+        rng = np.random.default_rng(1)
+        full = [rng.normal(size=(8,)).astype(np.float32)
+                for _ in range(world)]
+        ar = C.all_reduce(full)
+        chunked = [list(np.array_split(x, world)) for x in full]
+        rs = C.reduce_scatter(chunked)
+        ag = C.all_gather(rs)
+        for rank in range(world):
+            reassembled = np.concatenate(ag[rank])
+            np.testing.assert_allclose(reassembled, ar[rank], rtol=1e-5)
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self):
+        world = 3
+        inputs = [[np.array([src * 10 + dst], dtype=np.float32)
+                   for dst in range(world)] for src in range(world)]
+        out = C.all_to_all(inputs)
+        for dst in range(world):
+            for src in range(world):
+                assert out[dst][src][0] == src * 10 + dst
+
+    def test_round_trip_identity(self):
+        """alltoall(alltoall(x)) == x (DESIGN invariant 2)."""
+        world = 4
+        rng = np.random.default_rng(2)
+        inputs = [[rng.normal(size=(3,)).astype(np.float32)
+                   for _ in range(world)] for _ in range(world)]
+        once = C.all_to_all(inputs)
+        twice = C.all_to_all(once)
+        for a_row, b_row in zip(inputs, twice):
+            for a, b in zip(a_row, b_row):
+                np.testing.assert_array_equal(a, b)
+
+    def test_ragged_payloads(self):
+        """AlltoAllv: per-destination sizes may differ."""
+        inputs = [[np.zeros(src + dst + 1, dtype=np.float32)
+                   for dst in range(2)] for src in range(2)]
+        out = C.all_to_all(inputs)
+        assert out[0][1].shape == (2,)  # from src 1 to dst 0
+        assert out[1][0].shape == (2,)  # from src 0 to dst 1
+
+    def test_wrong_row_length_raises(self):
+        with pytest.raises(ValueError):
+            C.all_to_all([[np.zeros(1)], [np.zeros(1)]] )
+
+
+class TestAllToAllSingle:
+    def test_equal_split_exchange(self):
+        world = 2
+        xs = [np.arange(4, dtype=np.float32),
+              np.arange(4, 8, dtype=np.float32)]
+        out = C.all_to_all_single(xs)
+        np.testing.assert_array_equal(out[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(out[1], [2, 3, 6, 7])
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_involution_property(self, world):
+        rng = np.random.default_rng(world)
+        xs = [rng.normal(size=(world * 2,)).astype(np.float32)
+              for _ in range(world)]
+        twice = C.all_to_all_single(C.all_to_all_single(xs))
+        for a, b in zip(xs, twice):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestBroadcast:
+    def test_root_payload_everywhere(self):
+        xs = rank_arrays(3)
+        out = C.broadcast(xs, root=1)
+        for o in out:
+            np.testing.assert_array_equal(o, xs[1])
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            C.broadcast(rank_arrays(2), root=2)

@@ -1,0 +1,98 @@
+"""Tests for the PARAM-style comms benchmarks (bench + replay modes)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import PROTOTYPE_TOPOLOGY, ZION_TOPOLOGY, ClusterTopology
+from repro.comms.param_bench import (BenchRow, CommsTrace, bench_mode,
+                                     replay_mode, trace_from_log)
+
+
+class TestBenchMode:
+    def test_sweep_shape(self):
+        rows = bench_mode("all_to_all", PROTOTYPE_TOPOLOGY(16), 10, 20)
+        assert len(rows) == 11
+        sizes = [r.message_bytes for r in rows]
+        assert sizes == [2 ** k for k in range(10, 21)]
+
+    def test_bandwidth_monotone(self):
+        rows = bench_mode("all_reduce", PROTOTYPE_TOPOLOGY(16), 12, 28)
+        bws = [r.achieved_bw for r in rows]
+        assert all(a <= b * 1.001 for a, b in zip(bws, bws[1:]))
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            bench_mode("all_to_none", PROTOTYPE_TOPOLOGY(1))
+
+    def test_bad_exponents(self):
+        with pytest.raises(ValueError):
+            bench_mode("all_reduce", PROTOTYPE_TOPOLOGY(1), 20, 10)
+
+    @pytest.mark.parametrize("collective", ["all_to_all", "all_reduce",
+                                            "reduce_scatter", "all_gather",
+                                            "broadcast"])
+    def test_all_collectives_supported(self, collective):
+        rows = bench_mode(collective, PROTOTYPE_TOPOLOGY(2), 16, 18)
+        assert all(r.seconds > 0 for r in rows)
+
+
+class TestTrace:
+    def test_append_and_totals(self):
+        trace = CommsTrace()
+        trace.append("all_reduce", 1000)
+        trace.append("all_to_all/forward_alltoall", 500)
+        assert len(trace) == 2
+        assert trace.total_bytes == 1500
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError):
+            CommsTrace().append("gossip", 10)
+
+
+class TestReplayMode:
+    def test_replay_against_two_topologies(self):
+        """The point of replay mode: same workload, different cluster."""
+        trace = CommsTrace()
+        for _ in range(10):
+            trace.append("all_to_all", 10e6)
+            trace.append("all_reduce", 50e6)
+        fast = replay_mode(trace, PROTOTYPE_TOPOLOGY(16))
+        slow = replay_mode(trace, ZION_TOPOLOGY(16))
+        assert slow["total"] > fast["total"]
+        assert set(fast) == {"all_to_all", "all_reduce", "total"}
+        assert fast["total"] == pytest.approx(
+            fast["all_to_all"] + fast["all_reduce"])
+
+    def test_trace_from_real_training(self):
+        """Capture the trainer's comms log, replay it elsewhere."""
+        from repro.core import NeoTrainer
+        from repro.data import SyntheticCTRDataset
+        from repro.embedding import EmbeddingTableConfig, SparseSGD
+        from repro.models import DLRMConfig
+        from repro.sharding import ShardingPlan, ShardingScheme, shard_table
+
+        tables = tuple(EmbeddingTableConfig(f"t{i}", 32, 8, avg_pooling=2.0)
+                       for i in range(2))
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        plan = ShardingPlan(world_size=2)
+        for i, t in enumerate(tables):
+            plan.tables[t.name] = shard_table(t, ShardingScheme.TABLE_WISE,
+                                              [i % 2])
+        trainer = NeoTrainer(
+            config, plan, ClusterTopology(num_nodes=1, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseSGD(lr=0.1))
+        ds = SyntheticCTRDataset(tables, dense_dim=4)
+        for i in range(3):
+            trainer.train_step(ds.batch(8, i).split(2))
+
+        trace = trace_from_log(trainer.pg.log, world_size=2)
+        assert len(trace) == sum(trainer.pg.log.calls.values())
+        local = replay_mode(trace, ClusterTopology(num_nodes=1,
+                                                   gpus_per_node=2))
+        cluster = replay_mode(trace, PROTOTYPE_TOPOLOGY(16))
+        assert local["total"] > 0
+        # same byte volumes, multi-node fabric costs more per byte
+        assert cluster["total"] > local["total"]

@@ -1,0 +1,117 @@
+"""Tests for the Eq. 1 iteration latency model and overlap accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComponentTimes, breakdown, iteration_latency
+
+
+def times(**kw):
+    defaults = dict(bottom_mlp_fwd=1.0, embedding_lookup=1.0,
+                    alltoall_fwd=1.0, interaction_fwd=0.5, top_mlp_fwd=2.0,
+                    alltoall_bwd=1.0, embedding_update=1.0, allreduce=2.0)
+    defaults.update(kw)
+    return ComponentTimes(**defaults)
+
+
+class TestEquation1:
+    def test_forward_max_structure(self):
+        """Bottom MLP overlaps lookup+alltoall; the max wins."""
+        # pin backward cost so only the forward structure varies
+        slow_mlp = times(bottom_mlp_fwd=10.0, bottom_mlp_bwd=0.0)
+        fast_mlp = times(bottom_mlp_fwd=0.1, bottom_mlp_bwd=0.0)
+        # embedding path is lookup + alltoall = 2.0 in both:
+        # slow exposes max(10, 2) = 10, fast max(0.1, 2) = 2
+        assert iteration_latency(slow_mlp) - iteration_latency(fast_mlp) \
+            == pytest.approx(8.0)
+
+    def test_allreduce_hidden_until_exceeds_backward(self):
+        hidden = times(allreduce=0.1)
+        t0 = iteration_latency(hidden)
+        still_hidden = times(allreduce=5.0)
+        assert iteration_latency(still_hidden) == t0  # bwd compute = 9.5
+        exposed = times(allreduce=20.0)
+        assert iteration_latency(exposed) > t0
+
+    def test_exact_value(self):
+        t = times()
+        # fwd: max(1, 1+1) + 0.5 + 2 = 4.5
+        # bwd: max(4 + 1 + max(1+1, 2), 2) = 7.0
+        assert iteration_latency(t) == pytest.approx(11.5)
+
+    def test_backward_defaults_double_forward(self):
+        t = times(top_mlp_fwd=3.0)
+        assert t.top_mlp_bwd == pytest.approx(6.0)
+
+    def test_explicit_backward_respected(self):
+        t = times(top_mlp_bwd=1.0)
+        assert t.top_mlp_bwd == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            times(alltoall_fwd=-1.0)
+
+    @given(st.floats(min_value=0, max_value=10),
+           st.floats(min_value=0, max_value=10),
+           st.floats(min_value=0, max_value=10))
+    @settings(max_examples=50)
+    def test_exposed_leq_serialized_property(self, a, b, c):
+        t = times(bottom_mlp_fwd=a, alltoall_fwd=b, allreduce=c)
+        assert iteration_latency(t) <= t.serialized_total + 1e-9
+
+    def test_zero_comms_is_pure_compute(self):
+        t = times(alltoall_fwd=0.0, alltoall_bwd=0.0, allreduce=0.0,
+                  input_alltoall=0.0, h2d=0.0)
+        expected_fwd = max(1.0, 1.0) + 0.5 + 2.0
+        expected_bwd = 4.0 + 1.0 + max(1.0, 2.0)
+        assert iteration_latency(t) == pytest.approx(expected_fwd
+                                                     + expected_bwd)
+
+
+class TestBreakdown:
+    def test_totals_match_equation(self):
+        t = times()
+        b = breakdown(t)
+        assert b.total == pytest.approx(iteration_latency(t))
+
+    def test_hidden_allreduce_exposed_zero(self):
+        b = breakdown(times(allreduce=0.1))
+        assert b.exposed["allreduce"] == 0.0
+        assert b.serialized["allreduce"] == pytest.approx(0.1)
+
+    def test_exposed_allreduce_is_excess(self):
+        b = breakdown(times(allreduce=20.0))
+        # bwd compute = top(4) + inter(1) + max(a2a+upd=2, bot_bwd=2) = 7
+        assert b.exposed["allreduce"] == pytest.approx(20.0 - 7.0)
+
+    def test_input_alltoall_hides_under_top_mlp(self):
+        """Section 4.3: batch i+1's input AlltoAll overlaps top MLP fwd."""
+        b = breakdown(times(input_alltoall=1.0))  # top_mlp_fwd = 2.0
+        assert b.exposed["input_alltoall"] == 0.0
+        b2 = breakdown(times(input_alltoall=3.0))
+        assert b2.exposed["input_alltoall"] == pytest.approx(1.0)
+
+    def test_h2d_hidden(self):
+        """Fig 12: HtoD is completely hidden by double buffering."""
+        b = breakdown(times(h2d=1.0))
+        assert b.exposed["h2d"] == 0.0
+        assert b.serialized["h2d"] == pytest.approx(1.0)
+
+    def test_exposed_comms_aggregate(self):
+        b = breakdown(times(allreduce=20.0))
+        assert b.exposed_comms >= b.exposed["allreduce"]
+
+    def test_each_component_exposed_leq_serialized(self):
+        for kw in ({}, {"allreduce": 20.0}, {"bottom_mlp_fwd": 10.0},
+                   {"alltoall_fwd": 5.0}, {"input_alltoall": 4.0}):
+            b = breakdown(times(**kw))
+            for name, exposed in b.exposed.items():
+                assert exposed <= b.serialized[name] + 1e-9, name
+
+    def test_fast_mlp_exposes_full_alltoall(self):
+        """When the embedding path dominates, the AlltoAll is on the
+        critical path with fully exposed overheads (Section 5.3.1)."""
+        b = breakdown(times(bottom_mlp_fwd=0.01, alltoall_fwd=3.0))
+        assert b.exposed["alltoall_fwd"] == pytest.approx(3.0, rel=0.01)

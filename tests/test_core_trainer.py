@@ -1,0 +1,294 @@
+"""Integration tests for the Neo trainer: every sharding scheme must match
+the single-process reference DLRM, and distributed invariants must hold."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import ClusterTopology, QuantizedCommsConfig
+from repro.core import NeoTrainer
+from repro.data import SyntheticCTRDataset
+from repro.embedding import (EmbeddingTableConfig, RowWiseAdaGrad,
+                             SparseAdaGrad, SparseSGD)
+from repro.models import DLRM, DLRMConfig
+from repro.sharding import (EmbeddingShardingPlanner, PlannerConfig,
+                            ShardingPlan, ShardingScheme, shard_table)
+
+
+def make_config(num_tables=3, h=64, d=8):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", h, d, avg_pooling=3.0)
+                   for i in range(num_tables))
+    return DLRMConfig(dense_dim=4, bottom_mlp=(16, d), tables=tables,
+                      top_mlp=(16,))
+
+
+def make_plan(config, world, scheme):
+    plan = ShardingPlan(world_size=world)
+    for i, t in enumerate(config.tables):
+        if scheme == ShardingScheme.TABLE_WISE:
+            ranks = [i % world]
+        else:
+            ranks = list(range(world))
+        plan.tables[t.name] = shard_table(t, scheme, ranks)
+    plan.validate()
+    return plan
+
+
+def make_trainer(config, plan, world, sparse_opt=None, comms=None, seed=0,
+                 lr=0.1):
+    topo = ClusterTopology(num_nodes=1, gpus_per_node=world)
+    return NeoTrainer(
+        config, plan, topo,
+        dense_optimizer=lambda params: nn.SGD(params, lr=lr),
+        sparse_optimizer=sparse_opt or SparseSGD(lr=lr),
+        comms_config=comms, seed=seed)
+
+
+def train_reference(config, batches, steps, seed=0, lr=0.1,
+                    sparse_opt=None):
+    model = DLRM(config, seed=seed)
+    dense_opt = nn.SGD(model.dense_parameters(), lr=lr)
+    sparse = sparse_opt or SparseSGD(lr=lr)
+    losses = []
+    for b in batches[:steps]:
+        losses.append(model.train_step(b, dense_opt, sparse))
+    return model, losses
+
+
+def dataset_for(config, seed=0):
+    return SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                               seed=seed)
+
+
+SCHEMES = [ShardingScheme.TABLE_WISE, ShardingScheme.ROW_WISE,
+           ShardingScheme.COLUMN_WISE, ShardingScheme.DATA_PARALLEL]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestSchemeEquivalence:
+    """Each scheme's distributed step == the single-process step."""
+
+    def test_matches_reference_after_training(self, scheme):
+        config = make_config()
+        world = 4
+        ds = dataset_for(config)
+        batches = ds.batches(16, 4)
+        reference, ref_losses = train_reference(config, batches, steps=4)
+
+        plan = make_plan(config, world, scheme)
+        trainer = make_trainer(config, plan, world)
+        dist_losses = [trainer.train_step(b.split(world)) for b in batches]
+
+        np.testing.assert_allclose(dist_losses, ref_losses, rtol=1e-4,
+                                   atol=1e-6)
+        exported = trainer.to_local_model()
+        for t in config.tables:
+            np.testing.assert_allclose(
+                exported.embeddings.table(t.name).weight,
+                reference.embeddings.table(t.name).weight,
+                rtol=1e-4, atol=1e-6)
+        for got, want in zip(exported.dense_parameters(),
+                             reference.dense_parameters()):
+            np.testing.assert_allclose(got.data, want.data, rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_replicas_stay_in_sync(self, scheme):
+        config = make_config()
+        world = 4
+        plan = make_plan(config, world, scheme)
+        trainer = make_trainer(config, plan, world)
+        ds = dataset_for(config)
+        for b in ds.batches(16, 3):
+            trainer.train_step(b.split(world))
+        assert trainer.replicas_in_sync()
+
+
+class TestAdaGradEquivalence:
+    """The exact sparse optimizer claim (4.1.2): non-linear optimizers stay
+    equivalent under distribution because duplicates merge before update."""
+
+    @pytest.mark.parametrize("scheme", [ShardingScheme.TABLE_WISE,
+                                        ShardingScheme.ROW_WISE])
+    def test_adagrad(self, scheme):
+        config = make_config(num_tables=2)
+        world = 2
+        ds = dataset_for(config)
+        batches = ds.batches(8, 3)
+        reference, _ = train_reference(config, batches, steps=3,
+                                       sparse_opt=SparseAdaGrad(lr=0.1))
+        plan = make_plan(config, world, scheme)
+        trainer = make_trainer(config, plan, world,
+                               sparse_opt=SparseAdaGrad(lr=0.1))
+        for b in batches:
+            trainer.train_step(b.split(world))
+        for t in config.tables:
+            np.testing.assert_allclose(
+                trainer.gather_table(t.name),
+                reference.embeddings.table(t.name).weight,
+                rtol=1e-4, atol=1e-6)
+
+    def test_rowwise_adagrad_with_rowwise_sharding(self):
+        """The F1 recipe: row-wise sharded table + row-wise AdaGrad."""
+        config = make_config(num_tables=1, h=32)
+        world = 4
+        ds = dataset_for(config)
+        batches = ds.batches(8, 3)
+        reference, _ = train_reference(config, batches, steps=3,
+                                       sparse_opt=RowWiseAdaGrad(lr=0.1))
+        plan = make_plan(config, world, ShardingScheme.ROW_WISE)
+        trainer = make_trainer(config, plan, world,
+                               sparse_opt=RowWiseAdaGrad(lr=0.1))
+        for b in batches:
+            trainer.train_step(b.split(world))
+        np.testing.assert_allclose(
+            trainer.gather_table(config.tables[0].name),
+            reference.embeddings.table(config.tables[0].name).weight,
+            rtol=1e-4, atol=1e-6)
+
+
+class TestWorkerCountInvariance:
+    """Section 4.1.2: results do not depend on the number of workers."""
+
+    @pytest.mark.parametrize("scheme", [ShardingScheme.TABLE_WISE,
+                                        ShardingScheme.ROW_WISE])
+    def test_2_vs_4_workers(self, scheme):
+        config = make_config()
+        ds = dataset_for(config)
+        batches = ds.batches(16, 3)
+        tables = {}
+        for world in (2, 4):
+            plan = make_plan(config, world, scheme)
+            trainer = make_trainer(config, plan, world,
+                                   sparse_opt=SparseAdaGrad(lr=0.1))
+            for b in batches:
+                trainer.train_step(b.split(world))
+            tables[world] = {t.name: trainer.gather_table(t.name)
+                             for t in config.tables}
+        for name in tables[2]:
+            np.testing.assert_allclose(tables[2][name], tables[4][name],
+                                       rtol=1e-4, atol=1e-6)
+
+    def test_run_to_run_bitwise(self):
+        """Same config, same seed, two runs: bitwise identical."""
+        config = make_config()
+        ds = dataset_for(config)
+        batches = ds.batches(16, 2)
+        results = []
+        for _ in range(2):
+            plan = make_plan(config, 2, ShardingScheme.TABLE_WISE)
+            trainer = make_trainer(config, plan, 2,
+                                   sparse_opt=SparseAdaGrad(lr=0.1))
+            for b in batches:
+                trainer.train_step(b.split(2))
+            results.append({t.name: trainer.gather_table(t.name)
+                            for t in config.tables})
+        for name in results[0]:
+            assert np.array_equal(results[0][name], results[1][name])
+
+
+class TestMixedPlan:
+    def test_planner_produced_plan_trains(self):
+        """End-to-end: planner chooses mixed schemes, training still
+        matches the reference."""
+        tables = tuple([
+            EmbeddingTableConfig("small", 8, 8, avg_pooling=2.0),   # DP
+            EmbeddingTableConfig("big", 128, 8, avg_pooling=3.0),   # RW
+            EmbeddingTableConfig("mid", 64, 8, avg_pooling=3.0),    # TW
+        ])
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(16, 8), tables=tables,
+                            top_mlp=(16,))
+        world = 4
+        planner = EmbeddingShardingPlanner(PlannerConfig(
+            world_size=world, ranks_per_node=world, dp_threshold_rows=10,
+            device_memory_bytes=128 * 8 * 4 * 0.6))  # force 'big' row-wise
+        plan = planner.plan(list(tables))
+        assert plan.scheme_of("small") == ShardingScheme.DATA_PARALLEL
+        assert plan.scheme_of("big") == ShardingScheme.ROW_WISE
+
+        ds = dataset_for(config)
+        batches = ds.batches(16, 3)
+        reference, ref_losses = train_reference(config, batches, steps=3)
+        trainer = make_trainer(config, plan, world)
+        losses = [trainer.train_step(b.split(world)) for b in batches]
+        np.testing.assert_allclose(losses, ref_losses, rtol=1e-4, atol=1e-6)
+
+    def test_quantized_comms_still_converges(self):
+        """FP16/BF16 wire precision must not break learning (5.3.2)."""
+        config = make_config()
+        world = 2
+        plan = make_plan(config, world, ShardingScheme.TABLE_WISE)
+        trainer = make_trainer(config, plan, world,
+                               comms=QuantizedCommsConfig.paper_recipe())
+        ds = dataset_for(config)
+        losses = [trainer.train_step(ds.batch(32, i).split(world))
+                  for i in range(30)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_quantized_comms_close_to_fp32(self):
+        config = make_config()
+        world = 2
+        ds = dataset_for(config)
+        batches = ds.batches(16, 3)
+        results = {}
+        for name, comms in (("fp32", None),
+                            ("quant", QuantizedCommsConfig.paper_recipe())):
+            plan = make_plan(config, world, ShardingScheme.TABLE_WISE)
+            trainer = make_trainer(config, plan, world, comms=comms)
+            losses = [trainer.train_step(b.split(world)) for b in batches]
+            results[name] = losses
+        np.testing.assert_allclose(results["quant"], results["fp32"],
+                                   rtol=5e-3)
+
+
+class TestValidation:
+    def test_world_size_mismatch(self):
+        config = make_config()
+        plan = make_plan(config, 4, ShardingScheme.TABLE_WISE)
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=2)
+        with pytest.raises(ValueError):
+            NeoTrainer(config, plan, topo,
+                       dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+                       sparse_optimizer=SparseSGD(lr=0.1))
+
+    def test_missing_table_in_plan(self):
+        config = make_config(num_tables=2)
+        plan = ShardingPlan(world_size=2)
+        plan.tables["t0"] = shard_table(config.tables[0],
+                                        ShardingScheme.TABLE_WISE, [0])
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=2)
+        with pytest.raises(ValueError, match="missing"):
+            NeoTrainer(config, plan, topo,
+                       dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+                       sparse_optimizer=SparseSGD(lr=0.1))
+
+    def test_rw_mean_pooling_rejected(self):
+        tables = (EmbeddingTableConfig("t0", 64, 8, pooling_mode="mean"),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(16, 8), tables=tables,
+                            top_mlp=(16,))
+        plan = ShardingPlan(world_size=2)
+        plan.tables["t0"] = shard_table(tables[0], ShardingScheme.ROW_WISE,
+                                        [0, 1])
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=2)
+        with pytest.raises(ValueError, match="sum pooling"):
+            NeoTrainer(config, plan, topo,
+                       dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+                       sparse_optimizer=SparseSGD(lr=0.1))
+
+    def test_wrong_batch_count(self):
+        config = make_config()
+        plan = make_plan(config, 2, ShardingScheme.TABLE_WISE)
+        trainer = make_trainer(config, plan, 2)
+        ds = dataset_for(config)
+        with pytest.raises(ValueError):
+            trainer.train_step([ds.batch(4)])
+
+    def test_comms_traffic_logged(self):
+        config = make_config()
+        plan = make_plan(config, 2, ShardingScheme.TABLE_WISE)
+        trainer = make_trainer(config, plan, 2)
+        ds = dataset_for(config)
+        trainer.train_step(ds.batch(8).split(2))
+        log = trainer.pg.log
+        assert log.calls.get("all_reduce", 0) > 0
+        assert any("all_to_all" in k for k in log.calls)
+        assert log.total_seconds > 0

@@ -1,0 +1,146 @@
+"""Tests for synthetic CTR data generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MiniBatch, SyntheticCTRDataset, zipf_indices
+from repro.embedding import EmbeddingTableConfig
+
+
+def make_tables(n=3, h=1000, pooling=5.0):
+    return [EmbeddingTableConfig(f"t{i}", h, 8, avg_pooling=pooling)
+            for i in range(n)]
+
+
+class TestZipf:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        ids = zipf_indices(100, 10_000, rng)
+        assert ids.min() >= 0 and ids.max() < 100
+
+    def test_skew(self):
+        """Low ids (popular) dominate under Zipf."""
+        rng = np.random.default_rng(1)
+        ids = zipf_indices(1000, 100_000, rng, alpha=1.2)
+        top10 = np.sum(ids < 10) / len(ids)
+        assert top10 > 0.2
+
+    def test_empty(self):
+        rng = np.random.default_rng(0)
+        assert len(zipf_indices(10, 0, rng)) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_indices(0, 10, np.random.default_rng(0))
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25)
+    def test_bounds_property(self, n):
+        ids = zipf_indices(n, 200, np.random.default_rng(n))
+        assert np.all((0 <= ids) & (ids < n))
+
+
+class TestDataset:
+    def test_batch_shapes(self):
+        ds = SyntheticCTRDataset(make_tables(), dense_dim=6)
+        b = ds.batch(32)
+        assert b.dense.shape == (32, 6)
+        assert b.labels.shape == (32,)
+        assert set(b.sparse) == {"t0", "t1", "t2"}
+        for indices, offsets in b.sparse.values():
+            assert len(offsets) == 33
+            assert offsets[-1] == len(indices)
+
+    def test_deterministic(self):
+        ds1 = SyntheticCTRDataset(make_tables(), seed=7)
+        ds2 = SyntheticCTRDataset(make_tables(), seed=7)
+        b1, b2 = ds1.batch(16, 3), ds2.batch(16, 3)
+        np.testing.assert_array_equal(b1.dense, b2.dense)
+        np.testing.assert_array_equal(b1.labels, b2.labels)
+        for name in b1.sparse:
+            np.testing.assert_array_equal(b1.sparse[name][0],
+                                          b2.sparse[name][0])
+
+    def test_different_batches_differ(self):
+        ds = SyntheticCTRDataset(make_tables())
+        b0, b1 = ds.batch(16, 0), ds.batch(16, 1)
+        assert not np.array_equal(b0.dense, b1.dense)
+
+    def test_labels_binary(self):
+        ds = SyntheticCTRDataset(make_tables())
+        b = ds.batch(256)
+        assert set(np.unique(b.labels)) <= {0.0, 1.0}
+
+    def test_pooling_sizes_near_configured(self):
+        tables = make_tables(pooling=10.0)
+        ds = SyntheticCTRDataset(tables)
+        b = ds.batch(2048)
+        for name in b.sparse:
+            indices, offsets = b.sparse[name]
+            mean_l = np.diff(offsets).mean()
+            assert mean_l == pytest.approx(10.0, rel=0.15)
+
+    def test_labels_are_learnable(self):
+        """A logistic model on the planted features beats base rate —
+        sanity check that the teacher actually injects signal."""
+        ds = SyntheticCTRDataset(make_tables(n=1, h=50), dense_dim=4,
+                                 noise=0.1, seed=1)
+        b = ds.batch(4096)
+        # the dense weights alone should correlate with labels
+        proj = b.dense @ ds._dense_weights
+        pos = proj[b.labels == 1].mean()
+        neg = proj[b.labels == 0].mean()
+        assert pos > neg + 0.3
+
+    def test_base_rate_sane(self):
+        ds = SyntheticCTRDataset(make_tables())
+        rate = ds.base_rate()
+        assert 0.05 < rate < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCTRDataset([])
+        with pytest.raises(ValueError):
+            SyntheticCTRDataset(make_tables(), dense_dim=0)
+        ds = SyntheticCTRDataset(make_tables())
+        with pytest.raises(ValueError):
+            ds.batch(0)
+
+
+class TestMiniBatch:
+    def make_batch(self):
+        ds = SyntheticCTRDataset(make_tables(), dense_dim=4)
+        return ds.batch(16)
+
+    def test_slice_rebases_offsets(self):
+        b = self.make_batch()
+        s = b.slice(4, 8)
+        assert s.batch_size == 4
+        for indices, offsets in s.sparse.values():
+            assert offsets[0] == 0
+            assert offsets[-1] == len(indices)
+
+    def test_split_preserves_content(self):
+        b = self.make_batch()
+        parts = b.split(4)
+        assert len(parts) == 4
+        np.testing.assert_array_equal(
+            np.concatenate([p.dense for p in parts]), b.dense)
+        np.testing.assert_array_equal(
+            np.concatenate([p.labels for p in parts]), b.labels)
+        for name in b.sparse:
+            joined = np.concatenate([p.sparse[name][0] for p in parts])
+            np.testing.assert_array_equal(joined, b.sparse[name][0])
+
+    def test_split_requires_divisibility(self):
+        b = self.make_batch()
+        with pytest.raises(ValueError):
+            b.split(5)
+
+    def test_slices_are_copies(self):
+        b = self.make_batch()
+        s = b.slice(0, 4)
+        s.dense[0, 0] = 999.0
+        assert b.dense[0, 0] != 999.0

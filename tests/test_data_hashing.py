@@ -1,0 +1,130 @@
+"""Tests for feature hashing and the shrunk-model methodology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (SyntheticCTRDataset, hash_indices, shrink_batch,
+                        shrink_table_configs)
+from repro.embedding import EmbeddingTableConfig
+
+
+class TestHashIndices:
+    def test_range(self):
+        ids = hash_indices(np.arange(10_000), 128)
+        assert ids.min() >= 0 and ids.max() < 128
+
+    def test_deterministic(self):
+        a = hash_indices(np.arange(100), 32, salt=5)
+        b = hash_indices(np.arange(100), 32, salt=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_salt_decorrelates(self):
+        a = hash_indices(np.arange(1000), 128, salt=0)
+        b = hash_indices(np.arange(1000), 128, salt=1)
+        assert np.mean(a == b) < 0.1
+
+    def test_roughly_uniform(self):
+        ids = hash_indices(np.arange(100_000), 64)
+        counts = np.bincount(ids, minlength=64)
+        assert counts.min() > 0.7 * counts.mean()
+        assert counts.max() < 1.3 * counts.mean()
+
+    def test_preserves_equal_inputs(self):
+        """Same raw id always folds to the same bucket (cache locality of
+        hot ids is preserved by hashing — key for the shrunk model to
+        keep its performance characteristics)."""
+        ids = np.array([7, 7, 7, 12, 7], dtype=np.int64)
+        hashed = hash_indices(ids, 16)
+        assert len(set(hashed[[0, 1, 2, 4]])) == 1
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            hash_indices(np.arange(4), 0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=50)
+    def test_range_property(self, buckets):
+        ids = hash_indices(np.arange(257), buckets)
+        assert np.all((0 <= ids) & (ids < buckets))
+
+
+class TestShrinkConfigs:
+    def test_caps_rows(self):
+        tables = [EmbeddingTableConfig("big", 10 ** 7, 16),
+                  EmbeddingTableConfig("small", 100, 16)]
+        shrunk = shrink_table_configs(tables, max_rows=1000)
+        assert shrunk[0].num_embeddings == 1000
+        assert shrunk[1].num_embeddings == 100  # already small: untouched
+
+    def test_preserves_other_fields(self):
+        tables = [EmbeddingTableConfig("t", 10 ** 6, 32, avg_pooling=7.0)]
+        shrunk = shrink_table_configs(tables, max_rows=100)
+        assert shrunk[0].embedding_dim == 32
+        assert shrunk[0].avg_pooling == 7.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            shrink_table_configs([], max_rows=0)
+
+
+class TestShrinkBatch:
+    def make(self):
+        full = [EmbeddingTableConfig(f"t{i}", 100_000, 8, avg_pooling=4.0)
+                for i in range(2)]
+        ds = SyntheticCTRDataset(full, dense_dim=4, seed=0)
+        batch = ds.batch(32)
+        shrunk = shrink_table_configs(full, max_rows=500)
+        return batch, shrunk
+
+    def test_ids_within_shrunk_range(self):
+        batch, shrunk = self.make()
+        small = shrink_batch(batch, shrunk)
+        for name, (ids, _) in small.sparse.items():
+            assert ids.max() < 500
+
+    def test_structure_preserved(self):
+        batch, shrunk = self.make()
+        small = shrink_batch(batch, shrunk)
+        for name in batch.sparse:
+            np.testing.assert_array_equal(small.sparse[name][1],
+                                          batch.sparse[name][1])
+        np.testing.assert_array_equal(small.dense, batch.dense)
+        np.testing.assert_array_equal(small.labels, batch.labels)
+
+    def test_deterministic(self):
+        batch, shrunk = self.make()
+        a = shrink_batch(batch, shrunk)
+        b = shrink_batch(batch, shrunk)
+        for name in a.sparse:
+            np.testing.assert_array_equal(a.sparse[name][0],
+                                          b.sparse[name][0])
+
+    def test_missing_table_raises(self):
+        batch, shrunk = self.make()
+        with pytest.raises(KeyError):
+            shrink_batch(batch, shrunk[:1])
+
+    def test_shrunk_model_trains(self):
+        """The 5.3.1 workflow end to end: full-cardinality stream, hashed
+        into a shrunk model, still learns."""
+        from repro import nn
+        from repro.embedding import SparseSGD
+        from repro.models import DLRM, DLRMConfig
+
+        full = tuple(EmbeddingTableConfig(f"t{i}", 50_000, 8,
+                                          avg_pooling=3.0)
+                     for i in range(2))
+        shrunk = shrink_table_configs(full, max_rows=256)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=shrunk,
+                            top_mlp=(8,))
+        ds = SyntheticCTRDataset(full, dense_dim=4, noise=0.2, seed=1)
+        model = DLRM(config, seed=0)
+        opt = nn.Adam(model.dense_parameters(), lr=0.01)
+        sparse = SparseSGD(lr=0.1)
+        losses = []
+        for i in range(60):
+            batch = shrink_batch(ds.batch(64, i), shrunk)
+            losses.append(model.train_step(batch, opt, sparse))
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])

@@ -1,0 +1,150 @@
+"""Tests for reader-side preprocessing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DenseNormalizer, FeatureHasher, LogTransform,
+                        MiniBatch, MissingValueImputer, SyntheticCTRDataset,
+                        TransformPipeline)
+from repro.embedding import EmbeddingTableConfig
+
+
+def make_batch(batch=16, dense_dim=4, seed=0):
+    tables = [EmbeddingTableConfig("t0", 1000, 8, avg_pooling=3.0)]
+    ds = SyntheticCTRDataset(tables, dense_dim=dense_dim, seed=seed)
+    return ds.batch(batch)
+
+
+class TestLogTransform:
+    def test_values(self):
+        b = make_batch()
+        b.dense[0, 0] = np.e - 1.0
+        b.dense[0, 1] = -5.0
+        out = LogTransform().apply(b)
+        assert out.dense[0, 0] == pytest.approx(1.0)
+        assert out.dense[0, 1] == 0.0
+
+    def test_does_not_mutate_input(self):
+        b = make_batch()
+        original = b.dense.copy()
+        LogTransform().apply(b)
+        np.testing.assert_array_equal(b.dense, original)
+
+
+class TestImputer:
+    def test_fills_nans(self):
+        b = make_batch()
+        b.dense[1, 2] = np.nan
+        out = MissingValueImputer(fill_value=-1.0).apply(b)
+        assert out.dense[1, 2] == -1.0
+        assert not np.any(np.isnan(out.dense))
+
+
+class TestDenseNormalizer:
+    def test_standardizes_stream(self):
+        norm = DenseNormalizer()
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            b = make_batch(batch=64, seed=i)
+            b.dense = (b.dense * 3.0 + 5.0).astype(np.float32)
+            out = norm.apply(b)
+        # after many batches the output stream is ~standardized
+        assert np.abs(out.dense.mean()) < 0.3
+        assert out.dense.std() == pytest.approx(1.0, rel=0.2)
+
+    def test_running_stats_match_batch_stats(self):
+        """Accumulated mean/std equal the dataset-level statistics."""
+        norm = DenseNormalizer()
+        all_dense = []
+        for i in range(10):
+            b = make_batch(batch=32, seed=i)
+            all_dense.append(b.dense.astype(np.float64))
+            norm.apply(b)
+        stacked = np.concatenate(all_dense)
+        np.testing.assert_allclose(norm.mean, stacked.mean(axis=0),
+                                   rtol=1e-10)
+        np.testing.assert_allclose(norm.std, stacked.std(axis=0),
+                                   rtol=1e-10)
+
+    def test_distributed_merge_exact(self):
+        """Two readers' merged statistics == one reader's statistics —
+        the Chan parallel-merge property, bit-for-bit in float64."""
+        batches = [make_batch(batch=32, seed=i) for i in range(8)]
+        single = DenseNormalizer()
+        for b in batches:
+            single.apply(b)
+        left, right = DenseNormalizer(), DenseNormalizer()
+        for b in batches[:4]:
+            left.apply(b)
+        for b in batches[4:]:
+            right.apply(b)
+        left.merge(right)
+        np.testing.assert_allclose(left.mean, single.mean, rtol=1e-12)
+        np.testing.assert_allclose(left.m2, single.m2, rtol=1e-12)
+        assert left.count == single.count
+
+    def test_merge_into_empty(self):
+        a, b = DenseNormalizer(), DenseNormalizer()
+        b.apply(make_batch())
+        a.merge(b)
+        assert a.count == b.count
+
+    def test_frozen_stops_updates(self):
+        norm = DenseNormalizer()
+        norm.apply(make_batch(seed=0))
+        norm.frozen = True
+        count = norm.count
+        norm.apply(make_batch(seed=1))
+        assert norm.count == count
+
+    def test_constant_feature_not_divided_by_zero(self):
+        norm = DenseNormalizer()
+        b = make_batch()
+        b.dense[:, 0] = 7.0
+        norm.apply(b)
+        out = norm.apply(b)
+        assert np.all(np.isfinite(out.dense))
+
+
+class TestFeatureHasher:
+    def test_folds_into_range(self):
+        tables = [EmbeddingTableConfig("t0", 100, 8)]
+        b = make_batch()
+        out = FeatureHasher(tables).apply(b)
+        ids, _ = out.sparse["t0"]
+        assert ids.max() < 100
+
+    def test_missing_table_raises(self):
+        b = make_batch()
+        with pytest.raises(KeyError):
+            FeatureHasher([EmbeddingTableConfig("other", 10, 8)]).apply(b)
+
+    def test_offsets_preserved(self):
+        tables = [EmbeddingTableConfig("t0", 100, 8)]
+        b = make_batch()
+        out = FeatureHasher(tables).apply(b)
+        np.testing.assert_array_equal(out.sparse["t0"][1],
+                                      b.sparse["t0"][1])
+
+
+class TestPipeline:
+    def test_composition_order(self):
+        """Impute -> log -> normalize runs left to right."""
+        pipeline = TransformPipeline([
+            MissingValueImputer(fill_value=0.0),
+            LogTransform(),
+        ])
+        b = make_batch()
+        b.dense[0, 0] = np.nan
+        out = pipeline.apply(b)
+        assert out.dense[0, 0] == 0.0  # imputed to 0, log1p(0) = 0
+
+    def test_empty_pipeline_is_identity(self):
+        b = make_batch()
+        out = TransformPipeline([]).apply(b)
+        np.testing.assert_array_equal(out.dense, b.dense)
+
+    def test_callable_interface(self):
+        b = make_batch()
+        out = LogTransform()(b)
+        assert out.dense.shape == b.dense.shape

@@ -1,0 +1,238 @@
+"""Tests for exact sparse optimizers: determinism, merge semantics, and
+equivalence with dense reference updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.embedding import (EmbeddingTable, EmbeddingTableConfig,
+                             RowWiseAdaGrad, SparseAdaGrad, SparseAdam,
+                             SparseGradient, SparseLAMB, SparseSGD,
+                             merge_duplicate_rows, optimizer_state_bytes)
+
+
+def make_table(h=8, d=4, seed=0):
+    cfg = EmbeddingTableConfig("t", h, d)
+    return EmbeddingTable(cfg, rng=np.random.default_rng(seed))
+
+
+def sparse_grad(rows, values, h=8):
+    return SparseGradient(rows=np.asarray(rows, dtype=np.int64),
+                          values=np.asarray(values, dtype=np.float32),
+                          num_embeddings=h)
+
+
+class TestMergeDuplicateRows:
+    def test_paper_example(self):
+        """Rows {1,2} with g1 and {2,3} with g2 -> row 2 gets g1+g2."""
+        rows = np.array([1, 2, 2, 3], dtype=np.int64)
+        g = np.array([[1.0], [2.0], [10.0], [20.0]], dtype=np.float32)
+        u, m = merge_duplicate_rows(rows, g)
+        np.testing.assert_array_equal(u, [1, 2, 3])
+        np.testing.assert_allclose(m, [[1.0], [12.0], [20.0]])
+
+    def test_empty(self):
+        u, m = merge_duplicate_rows(np.array([], dtype=np.int64),
+                                    np.zeros((0, 3), dtype=np.float32))
+        assert len(u) == 0 and m.shape == (0, 3)
+
+    def test_unsorted_input(self):
+        rows = np.array([5, 1, 5, 0], dtype=np.int64)
+        g = np.ones((4, 2), dtype=np.float32)
+        u, m = merge_duplicate_rows(rows, g)
+        np.testing.assert_array_equal(u, [0, 1, 5])
+        np.testing.assert_allclose(m[2], [2.0, 2.0])
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=40))
+    @settings(max_examples=50)
+    def test_merge_preserves_total_gradient(self, rows_list):
+        """Sum of merged gradients equals sum of raw gradients."""
+        rng = np.random.default_rng(len(rows_list))
+        rows = np.array(rows_list, dtype=np.int64)
+        g = rng.normal(size=(len(rows), 3)).astype(np.float32)
+        u, m = merge_duplicate_rows(rows, g)
+        assert len(u) == len(np.unique(rows))
+        np.testing.assert_allclose(m.sum(axis=0), g.sum(axis=0), rtol=1e-4,
+                                   atol=1e-5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=20))
+    @settings(max_examples=50)
+    def test_output_rows_sorted_unique(self, rows_list):
+        rows = np.array(rows_list, dtype=np.int64)
+        g = np.ones((len(rows), 1), dtype=np.float32)
+        u, _ = merge_duplicate_rows(rows, g)
+        assert np.all(np.diff(u) > 0)
+
+
+class TestSparseSGD:
+    def test_single_update(self):
+        table = make_table()
+        before = table.weight.copy()
+        opt = SparseSGD(lr=0.5)
+        g = sparse_grad([2], [[1.0, 1.0, 1.0, 1.0]])
+        opt.step(table, g)
+        np.testing.assert_allclose(table.weight[2], before[2] - 0.5)
+        np.testing.assert_array_equal(table.weight[0], before[0])
+
+    def test_duplicates_merged_not_sequential(self):
+        """For SGD merge == sequential, but verify merged arithmetic."""
+        table = make_table()
+        before = table.weight[3].copy()
+        opt = SparseSGD(lr=1.0)
+        opt.step(table, sparse_grad([3, 3], [[1.0] * 4, [2.0] * 4]))
+        np.testing.assert_allclose(table.weight[3], before - 3.0, rtol=1e-6)
+
+    def test_empty_grad_noop(self):
+        table = make_table()
+        before = table.weight.copy()
+        SparseSGD(lr=1.0).step(table, sparse_grad([], np.zeros((0, 4))))
+        np.testing.assert_array_equal(table.weight, before)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SparseSGD(lr=-1.0)
+
+
+class TestSparseAdaGrad:
+    def test_matches_dense_adagrad(self):
+        """Scattering the sparse grad densely + dense AdaGrad == sparse."""
+        table = make_table()
+        dense_param = nn.Parameter(table.weight.copy())
+        dense_opt = nn.AdaGrad([dense_param], lr=0.1)
+        sparse_opt = SparseAdaGrad(lr=0.1)
+        rng = np.random.default_rng(1)
+        for step in range(5):
+            rows = rng.integers(0, 8, size=6).astype(np.int64)
+            values = rng.normal(size=(6, 4)).astype(np.float32)
+            g = sparse_grad(rows, values)
+            sparse_opt.step(table, g)
+            # dense AdaGrad advances accumulators only where grad != 0,
+            # which matches sparse semantics because untouched rows get 0
+            dense_param.grad = g.to_dense()
+            dense_opt.step()
+        np.testing.assert_allclose(table.weight, dense_param.data, rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_nonlinearity_requires_merging(self):
+        """Applying duplicate rows sequentially differs from exact merge —
+        the motivating bug class for Section 4.1.2."""
+        t_exact = make_table(seed=3)
+        t_seq = make_table(seed=3)
+        g1 = np.full((1, 4), 1.0, dtype=np.float32)
+        g2 = np.full((1, 4), 2.0, dtype=np.float32)
+        SparseAdaGrad(lr=0.1).step(t_exact, sparse_grad([4, 4],
+                                                        np.vstack([g1, g2])))
+        seq_opt = SparseAdaGrad(lr=0.1)
+        seq_opt.step(t_seq, sparse_grad([4], g1))
+        seq_opt.step(t_seq, sparse_grad([4], g2))
+        assert not np.allclose(t_exact.weight[4], t_seq.weight[4])
+
+
+class TestRowWiseAdaGrad:
+    def test_moment_is_1d(self):
+        table = make_table()
+        opt = RowWiseAdaGrad(lr=0.1)
+        opt.step(table, sparse_grad([0, 1], np.ones((2, 4))))
+        assert opt.state_for(table)["moment"].shape == (8,)
+
+    def test_moment_update_formula(self):
+        """m' = m + mean_j(g_j^2), one scalar per row."""
+        table = make_table()
+        opt = RowWiseAdaGrad(lr=0.1)
+        g = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        opt.step(table, sparse_grad([5], g))
+        expected = np.mean(g ** 2)
+        assert opt.state_for(table)["moment"][5] == pytest.approx(expected)
+
+    def test_update_uses_row_scale(self):
+        table = make_table()
+        before = table.weight[2].copy()
+        opt = RowWiseAdaGrad(lr=0.1, eps=0.0)
+        g = np.full((1, 4), 2.0, dtype=np.float32)
+        opt.step(table, sparse_grad([2], g))
+        # moment = 4.0, scale = 0.1 / 2.0, update = 0.05 * 2 = 0.1
+        np.testing.assert_allclose(table.weight[2], before - 0.1, rtol=1e-5)
+
+    def test_state_bytes_factor_d_smaller(self):
+        full = SparseAdaGrad().state_bytes(1000, 64)
+        rowwise = RowWiseAdaGrad().state_bytes(1000, 64)
+        assert full == rowwise * 64
+
+
+class TestSparseAdam:
+    def test_first_step_is_lr_sized(self):
+        table = make_table()
+        before = table.weight[1].copy()
+        opt = SparseAdam(lr=0.01, eps=0.0)
+        opt.step(table, sparse_grad([1], np.full((1, 4), 7.0)))
+        np.testing.assert_allclose(table.weight[1], before - 0.01, rtol=1e-4)
+
+    def test_per_row_timesteps(self):
+        table = make_table()
+        opt = SparseAdam(lr=0.01)
+        opt.step(table, sparse_grad([0], np.ones((1, 4))))
+        opt.step(table, sparse_grad([0, 1], np.ones((2, 4))))
+        t = opt.state_for(table)["t"]
+        assert t[0] == 2 and t[1] == 1 and t[2] == 0
+
+    def test_untouched_rows_unchanged(self):
+        table = make_table()
+        before = table.weight.copy()
+        SparseAdam(lr=0.5).step(table, sparse_grad([3], np.ones((1, 4))))
+        mask = np.ones(8, dtype=bool)
+        mask[3] = False
+        np.testing.assert_array_equal(table.weight[mask], before[mask])
+
+
+class TestSparseLAMB:
+    def test_update_moves_weights(self):
+        table = make_table()
+        before = table.weight.copy()
+        SparseLAMB(lr=0.1).step(table, sparse_grad([2], np.ones((1, 4))))
+        assert not np.allclose(table.weight[2], before[2])
+
+    def test_finite_on_zero_row(self):
+        cfg = EmbeddingTableConfig("t", 4, 4)
+        table = EmbeddingTable(cfg, weight=np.zeros((4, 4)))
+        SparseLAMB(lr=0.1).step(table, sparse_grad([0], np.ones((1, 4)), h=4))
+        assert np.all(np.isfinite(table.weight))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("opt_cls", [SparseSGD, SparseAdaGrad,
+                                         RowWiseAdaGrad, SparseAdam,
+                                         SparseLAMB])
+    def test_batch_order_invariance(self, opt_cls):
+        """Shuffling the order of (row, grad) pairs in a batch yields
+        bitwise identical parameters — the determinism claim of 4.1.2."""
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 8, size=12).astype(np.int64)
+        values = rng.normal(size=(12, 4)).astype(np.float32)
+        perm = rng.permutation(12)
+
+        t1, t2 = make_table(seed=5), make_table(seed=5)
+        opt_cls(lr=0.1).step(t1, sparse_grad(rows, values))
+        opt_cls(lr=0.1).step(t2, sparse_grad(rows[perm], values[perm]))
+        # note: exact bitwise equality, not allclose
+        assert np.array_equal(t1.weight, t2.weight)
+
+
+class TestStateBytes:
+    def test_known_values(self):
+        assert optimizer_state_bytes("sgd", 100, 8) == 0
+        assert optimizer_state_bytes("adagrad", 100, 8) == 100 * 8 * 4
+        assert optimizer_state_bytes("rowwise_adagrad", 100, 8) == 400
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            optimizer_state_bytes("rmsprop", 10, 10)
+
+    def test_f1_capacity_arithmetic(self):
+        """Section 5.3.3: 12T params FP32 + elementwise state = 96 TB."""
+        params = 12e12
+        fp32_with_adagrad = params * 4 * 2
+        assert fp32_with_adagrad == pytest.approx(96e12)

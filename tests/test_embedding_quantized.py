@@ -1,0 +1,76 @@
+"""Tests for reduced-precision embedding table storage."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (EmbeddingTableConfig, QuantizedEmbeddingTable,
+                             SparseSGD)
+
+
+def make_qtable(precision="fp16", h=16, d=8, seed=0):
+    cfg = EmbeddingTableConfig("q", h, d, precision=precision)
+    return QuantizedEmbeddingTable(cfg, rng=np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_fp32_rejected(self):
+        cfg = EmbeddingTableConfig("q", 4, 4, precision="fp32")
+        with pytest.raises(ValueError):
+            QuantizedEmbeddingTable(cfg)
+
+    @pytest.mark.parametrize("precision", ["fp16", "bf16", "int8"])
+    def test_initial_weights_are_synced(self, precision):
+        table = make_qtable(precision)
+        assert table.quantization_error() == 0.0
+
+
+class TestStorageSemantics:
+    def test_sync_rounds_writes(self):
+        table = make_qtable("fp16")
+        # write a value fp16 cannot represent exactly
+        table.weight[0, 0] = np.float32(1.0 + 2 ** -13)
+        table.sync_storage()
+        assert table.weight[0, 0] == np.float32(1.0)
+
+    def test_bf16_sync(self):
+        table = make_qtable("bf16")
+        table.weight[0, 0] = np.float32(1.0 + 2 ** -10)
+        table.sync_storage()
+        assert table.weight[0, 0] == np.float32(1.0)
+
+    def test_lookup_uses_dequantized_values(self):
+        table = make_qtable("fp16")
+        out = table.forward(np.array([3], dtype=np.int64),
+                            np.array([0, 1], dtype=np.int64))
+        np.testing.assert_array_equal(out[0], table.weight[3])
+
+    def test_training_step_then_sync(self):
+        """Optimizer writes FP32; sync re-rounds, and the quantization
+        error introduced is bounded by fp16 ULP."""
+        table = make_qtable("fp16")
+        table.forward(np.array([1], dtype=np.int64),
+                      np.array([0, 1], dtype=np.int64))
+        grad = table.backward(np.ones((1, 8), dtype=np.float32))
+        SparseSGD(lr=0.01).step(table, grad)
+        pre_sync = table.weight[1].copy()
+        table.sync_storage()
+        err = np.abs(table.weight[1] - pre_sync)
+        assert np.all(err <= np.abs(pre_sync) * 2 ** -11 + 1e-8)
+
+
+class TestFootprint:
+    def test_fp16_halves_storage(self):
+        q = make_qtable("fp16", h=100, d=64)
+        assert q.storage_bytes() == 100 * 64 * 2
+
+    def test_int8_quarter_plus_scales(self):
+        q = make_qtable("int8", h=100, d=64)
+        assert q.storage_bytes() == 100 * 64 * 1 + 100 * 8
+
+    def test_model_a2_headroom_claim(self):
+        """Section 5.3.2: FP16 tables halve a 3 TB model to fit in the 4 TB
+        HBM pool with placement headroom."""
+        model_fp32 = 3e12
+        hbm_total = 4e12
+        assert model_fp32 / hbm_total > 0.7  # little headroom in fp32
+        assert (model_fp32 / 2) / hbm_total < 0.5  # ample in fp16

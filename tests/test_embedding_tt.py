@@ -1,0 +1,156 @@
+"""Tests for tensor-train compressed embedding tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import TTEmbeddingTable, factorize_dims
+
+
+class TestFactorize:
+    def test_exact_product(self):
+        for value in [8, 12, 100, 1000, 7, 36]:
+            for k in [2, 3]:
+                factors = factorize_dims(value, k)
+                assert len(factors) == k
+                assert np.prod(factors) == value
+
+    def test_prime_pads_with_ones(self):
+        factors = factorize_dims(7, 3)
+        assert sorted(factors) == [1, 1, 7]
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            factorize_dims(0, 2)
+        with pytest.raises(ValueError):
+            factorize_dims(8, 0)
+
+    @given(st.integers(min_value=1, max_value=10000),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100)
+    def test_product_property(self, value, k):
+        assert int(np.prod(factorize_dims(value, k))) == value
+
+
+def make_tt(h=24, d=8, ranks=(4, 4), seed=0):
+    return TTEmbeddingTable("tt", h, d, ranks=ranks,
+                            rng=np.random.default_rng(seed))
+
+
+class TestLookup:
+    def test_row_shape(self):
+        tt = make_tt()
+        rows = tt.rows(np.array([0, 5, 23], dtype=np.int64))
+        assert rows.shape == (3, 8)
+
+    def test_deterministic(self):
+        tt = make_tt()
+        r1 = tt.rows(np.array([3], dtype=np.int64))
+        r2 = tt.rows(np.array([3], dtype=np.int64))
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_out_of_range_raises(self):
+        tt = make_tt(h=24)
+        with pytest.raises(IndexError):
+            tt.rows(np.array([24], dtype=np.int64))
+
+    def test_materialize_matches_rows(self):
+        tt = make_tt(h=12, d=4)
+        full = tt.materialize()
+        assert full.shape == (12, 4)
+        sample = tt.rows(np.array([7], dtype=np.int64))
+        np.testing.assert_allclose(full[7], sample[0], rtol=1e-5)
+
+    def test_distinct_rows_differ(self):
+        tt = make_tt()
+        full = tt.materialize()
+        # with random cores, rows should not all collapse to one value
+        assert np.std(full) > 0
+
+    def test_pooled_forward_sums_rows(self):
+        tt = make_tt()
+        indices = np.array([1, 2, 3], dtype=np.int64)
+        rows = tt.rows(indices)
+        pooled = tt.forward(indices, np.array([0, 3], dtype=np.int64))
+        np.testing.assert_allclose(pooled[0], rows.sum(axis=0), rtol=1e-4,
+                                   atol=1e-6)
+
+
+class TestGradients:
+    def test_core_gradient_check(self):
+        """Analytic core gradients match central differences."""
+        tt = make_tt(h=6, d=4, ranks=(2, 2), seed=1)
+        indices = np.array([0, 3, 5], dtype=np.int64)
+        rows = tt.rows(indices)
+        loss_grad = rows.copy()  # d(sum(rows^2)/2) = rows
+        tt.backward_rows(loss_grad)
+
+        def loss():
+            r = tt.rows(indices)
+            return float(np.sum(r.astype(np.float64) ** 2) / 2)
+
+        eps = 1e-3
+        for k in range(len(tt.cores)):
+            grad = tt.core_grads[k]
+            core = tt.cores[k]
+            flat = core.reshape(-1)
+            # probe a handful of coordinates
+            rng = np.random.default_rng(k)
+            for pos in rng.choice(flat.size, size=min(6, flat.size),
+                                  replace=False):
+                orig = flat[pos]
+                flat[pos] = orig + eps
+                up = loss()
+                flat[pos] = orig - eps
+                down = loss()
+                flat[pos] = orig
+                numeric = (up - down) / (2 * eps)
+                analytic = grad.reshape(-1)[pos]
+                assert analytic == pytest.approx(numeric, rel=5e-2, abs=1e-4)
+
+    def test_apply_gradients_clears(self):
+        tt = make_tt()
+        indices = np.array([0], dtype=np.int64)
+        rows = tt.rows(indices)
+        tt.backward_rows(rows)
+        tt.apply_gradients(lr=0.1)
+        assert all(g is None for g in tt.core_grads)
+
+    def test_backward_before_forward_raises(self):
+        tt = make_tt()
+        with pytest.raises(RuntimeError):
+            tt.backward_rows(np.zeros((1, 8), dtype=np.float32))
+
+    def test_training_reduces_reconstruction_loss(self):
+        """TT cores can be trained to approximate a small target table."""
+        rng = np.random.default_rng(2)
+        target = rng.normal(size=(12, 4)).astype(np.float32) * 0.1
+        tt = TTEmbeddingTable("tt", 12, 4, ranks=(4, 4),
+                              rng=np.random.default_rng(3))
+        all_rows = np.arange(12, dtype=np.int64)
+        losses = []
+        for _ in range(200):
+            rows = tt.rows(all_rows)
+            diff = rows - target
+            losses.append(float(np.mean(diff ** 2)))
+            tt.backward_rows(diff / 12)
+            tt.apply_gradients(lr=0.5)
+        assert losses[-1] < losses[0] * 0.1
+
+
+class TestCompression:
+    def test_ratio_formula(self):
+        tt = make_tt(h=24, d=8, ranks=(4, 4))
+        assert tt.compression_ratio() == pytest.approx(
+            24 * 8 / tt.num_parameters())
+
+    def test_large_table_compresses_well(self):
+        """A 1M x 64 table in TT format shrinks by >100x."""
+        tt = TTEmbeddingTable("big", 10 ** 6, 64, ranks=(16, 16))
+        assert tt.compression_ratio() > 100
+
+    def test_invalid_factors_raise(self):
+        with pytest.raises(ValueError):
+            TTEmbeddingTable("tt", 24, 8, ranks=(4, 4),
+                             row_factors=(5, 5, 1))  # 25 != 24

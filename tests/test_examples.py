@@ -1,0 +1,30 @@
+"""Every example script must run clean end to end.
+
+Examples are the public face of the library; this keeps them green as the
+API evolves. Each runs in a subprocess with a generous timeout.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = sorted(
+    name for name in os.listdir(os.path.join(REPO_ROOT, "examples"))
+    if name.endswith(".py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "examples", script)],
+        capture_output=True, text=True, timeout=300, cwd=REPO_ROOT)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"

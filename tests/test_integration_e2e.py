@@ -1,0 +1,178 @@
+"""Whole-system integration: every subsystem in one production-shaped
+workflow, plus trainer coverage for TWRW and mean pooling.
+
+The workflow test chains: model zoo (shrunk) -> feature hashing ->
+autotuned sharding plan -> memory validation -> Neo trainer with
+quantized comms and gradient bucketing -> training loop with LR warmup,
+NE/AUC eval, differential checkpoints -> comms trace replay on a bigger
+cluster. If any two subsystems disagree about an interface or a
+convention, this test is where it surfaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import (PROTOTYPE_TOPOLOGY, ClusterTopology,
+                         QuantizedCommsConfig)
+from repro.comms.param_bench import replay_mode, trace_from_log
+from repro.core import (CheckpointManager, NeoTrainer, TrainingLoop)
+from repro.data import (SyntheticCTRDataset, shrink_batch,
+                        shrink_table_configs)
+from repro.embedding import EmbeddingTableConfig, RowWiseAdaGrad, \
+    SparseAdaGrad, SparseSGD
+from repro.metrics import normalized_entropy, roc_auc
+from repro.models import DLRM, DLRMConfig, mini_config
+from repro.nn import WarmupLinearDecay
+from repro.sharding import (CostModelParams, PlannerConfig, ShardingPlan,
+                            ShardingScheme, autotune_schemes, shard_table,
+                            validate_plan_memory)
+
+
+class TestTrainerSchemeCoverage:
+    """Scheme/pooling combinations not covered by the core matrix."""
+
+    def test_twrw_matches_reference(self):
+        """Hierarchical table-row-wise: shards confined to one node's
+        ranks, still equivalent to the single-process model."""
+        tables = (EmbeddingTableConfig("big", 64, 8, avg_pooling=3.0),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        world = 4  # 2 nodes x 2 GPUs
+        plan = ShardingPlan(world_size=world)
+        # TWRW places the table on node 1's local ranks [2, 3]
+        plan.tables["big"] = shard_table(
+            tables[0], ShardingScheme.TABLE_ROW_WISE, [2, 3])
+        plan.validate()
+        ds = SyntheticCTRDataset(tables, dense_dim=4, seed=0)
+        batches = ds.batches(8, 3)
+
+        reference = DLRM(config, seed=0)
+        ref_opt = nn.SGD(reference.dense_parameters(), lr=0.1)
+        ref_sparse = SparseAdaGrad(lr=0.1)
+        for b in batches:
+            reference.train_step(b, ref_opt, ref_sparse)
+
+        trainer = NeoTrainer(
+            config, plan, ClusterTopology(num_nodes=2, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseAdaGrad(lr=0.1), seed=0)
+        for b in batches:
+            trainer.train_step(b.split(world))
+        np.testing.assert_allclose(
+            trainer.gather_table("big"),
+            reference.embeddings.table("big").weight, rtol=1e-4,
+            atol=1e-6)
+
+    @pytest.mark.parametrize("scheme", [ShardingScheme.TABLE_WISE,
+                                        ShardingScheme.COLUMN_WISE,
+                                        ShardingScheme.DATA_PARALLEL])
+    def test_mean_pooling_matches_reference(self, scheme):
+        """Mean pooling works for every scheme except row-wise (which the
+        trainer rejects — partial means don't compose)."""
+        tables = (EmbeddingTableConfig("t0", 32, 8, avg_pooling=3.0,
+                                       pooling_mode="mean"),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        world = 2
+        plan = ShardingPlan(world_size=world)
+        ranks = [0] if scheme == ShardingScheme.TABLE_WISE else [0, 1]
+        plan.tables["t0"] = shard_table(tables[0], scheme, ranks)
+        ds = SyntheticCTRDataset(tables, dense_dim=4, seed=0)
+        batches = ds.batches(8, 2)
+
+        reference = DLRM(config, seed=0)
+        ref_opt = nn.SGD(reference.dense_parameters(), lr=0.1)
+        sparse = SparseSGD(lr=0.1)
+        ref_losses = [reference.train_step(b, ref_opt, sparse)
+                      for b in batches]
+
+        trainer = NeoTrainer(
+            config, plan, ClusterTopology(num_nodes=1, gpus_per_node=world),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseSGD(lr=0.1), seed=0)
+        losses = [trainer.train_step(b.split(world)) for b in batches]
+        np.testing.assert_allclose(losses, ref_losses, rtol=1e-4,
+                                   atol=1e-6)
+
+
+class TestFullWorkflow:
+    def test_production_shaped_pipeline(self, tmp_path):
+        # 1. model: shrunk A1 via the zoo + feature hashing
+        config = mini_config("A1", scale=256, num_tables=4,
+                             embedding_dim=8)
+        full_tables = [EmbeddingTableConfig(t.name, 100_000,
+                                            t.embedding_dim,
+                                            avg_pooling=t.avg_pooling)
+                       for t in config.tables]
+        shrunk = shrink_table_configs(full_tables, max_rows=256)
+
+        # 2. sharding: autotune, then validate memory
+        world = 4
+        result = autotune_schemes(
+            list(config.tables),
+            PlannerConfig(world_size=world, ranks_per_node=world,
+                          dp_threshold_rows=32),
+            CostModelParams(global_batch=64, world_size=world))
+        validate_plan_memory(result.plan, device_memory_bytes=32e9)
+
+        # 3. trainer with quantized comms
+        trainer = NeoTrainer(
+            config, result.plan,
+            ClusterTopology(num_nodes=1, gpus_per_node=world),
+            dense_optimizer=lambda p: nn.Adam(p, lr=0.01),
+            sparse_optimizer=RowWiseAdaGrad(lr=0.1),
+            comms_config=QuantizedCommsConfig.paper_recipe(), seed=0)
+
+        # 4. loop with warmup, eval, differential checkpoints — fed by a
+        #    full-cardinality stream hashed into the shrunk tables
+        full_ds = SyntheticCTRDataset(full_tables, dense_dim=8, noise=0.2,
+                                      seed=1)
+
+        class HashedDataset:
+            tables = config.tables
+
+            def batch(self, batch_size, batch_index=0):
+                return shrink_batch(full_ds.batch(batch_size, batch_index),
+                                    shrunk)
+
+        manager = CheckpointManager(str(tmp_path), differential=True)
+        scheduler = WarmupLinearDecay(trainer.ranks[0].dense_opt,
+                                      base_lr=0.02, warmup_steps=5,
+                                      total_steps=40)
+        loop = TrainingLoop(trainer, HashedDataset(),
+                            global_batch_size=64, eval_every=10,
+                            eval_batch_size=512,
+                            checkpoint_manager=manager,
+                            checkpoint_every=10,
+                            lr_schedulers=[scheduler])
+        run = loop.run(30)
+        assert len(run.losses) == 30
+        assert len(run.checkpoints) == 3
+        assert run.losses[-1] < run.losses[0]
+
+        # 5. metrics on held out data
+        model = trainer.to_local_model()
+        test = HashedDataset().batch(2048, 777_777)
+        ne = normalized_entropy(model.predict_proba(test), test.labels)
+        auc = roc_auc(model.predict_proba(test), test.labels)
+        assert ne < 1.0
+        assert auc > 0.55
+
+        # 6. resume from the differential chain, bit-exact embeddings
+        fresh = NeoTrainer(
+            config, result.plan,
+            ClusterTopology(num_nodes=1, gpus_per_node=world),
+            dense_optimizer=lambda p: nn.Adam(p, lr=0.01),
+            sparse_optimizer=RowWiseAdaGrad(lr=0.1),
+            comms_config=QuantizedCommsConfig.paper_recipe(), seed=42)
+        manager.load(fresh)
+        for t in config.tables:
+            np.testing.assert_array_equal(fresh.gather_table(t.name),
+                                          trainer.gather_table(t.name))
+
+        # 7. replay the captured comms trace on the 128-GPU cluster model
+        trace = trace_from_log(trainer.pg.log, world_size=world)
+        replay = replay_mode(trace, PROTOTYPE_TOPOLOGY(16))
+        assert replay["total"] > 0
+        assert "all_reduce" in replay

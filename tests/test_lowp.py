@@ -1,0 +1,114 @@
+"""Tests for low-precision numerics (fp16/bf16/int8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lowp
+
+
+class TestFP16:
+    def test_roundtrip_exact_for_representable(self):
+        x = np.array([1.0, 0.5, -2.0, 0.0], dtype=np.float32)
+        np.testing.assert_array_equal(lowp.fp16_roundtrip(x), x)
+
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000).astype(np.float32)
+        err = np.abs(lowp.fp16_roundtrip(x) - x)
+        # fp16 has 10 mantissa bits -> relative error <= 2^-11
+        assert np.all(err <= np.abs(x) * 2 ** -11 + 1e-8)
+
+
+class TestBF16:
+    def test_roundtrip_exact_for_representable(self):
+        # bf16 has 7 mantissa bits: 1.0, 1.5, -0.25 are representable
+        x = np.array([1.0, 1.5, -0.25, 0.0], dtype=np.float32)
+        np.testing.assert_array_equal(lowp.bf16_roundtrip(x), x)
+
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000).astype(np.float32)
+        err = np.abs(lowp.bf16_roundtrip(x) - x)
+        # 7 mantissa bits -> relative error <= 2^-8
+        assert np.all(err <= np.abs(x) * 2 ** -8 + 1e-12)
+
+    def test_preserves_fp32_range(self):
+        """bf16 keeps the fp32 exponent, unlike fp16 which overflows."""
+        x = np.array([1e38, -1e38], dtype=np.float32)
+        out = lowp.bf16_roundtrip(x)
+        assert np.all(np.isfinite(out))
+        fp16_out = lowp.fp16_roundtrip(x)
+        assert np.all(np.isinf(fp16_out))
+
+    def test_round_to_nearest_even(self):
+        # 1.0 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and
+        # 1.0078125; round-to-even picks 1.0 (even mantissa).
+        halfway = np.float32(1.0) + np.float32(2.0 ** -8)
+        out = lowp.bf16_roundtrip(np.array([halfway], dtype=np.float32))
+        assert out[0] == np.float32(1.0)
+
+    def test_uint16_storage(self):
+        x = np.array([1.0], dtype=np.float32)
+        stored = lowp.to_bf16(x)
+        assert stored.dtype == np.uint16
+        assert stored[0] == 0x3F80  # upper half of fp32 1.0
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100)
+    def test_monotone_property(self, v):
+        """Rounding never moves a value past its bf16 neighbours."""
+        x = np.array([v], dtype=np.float32)
+        out = lowp.bf16_roundtrip(x)
+        assert abs(float(out[0]) - v) <= max(abs(v) * 2 ** -8, 1e-38)
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 4, 5), dtype=np.float32)
+        assert lowp.bf16_roundtrip(x).shape == (3, 4, 5)
+
+
+class TestInt8Rowwise:
+    def test_reconstruction_error_bounded(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(16, 32)).astype(np.float32)
+        codes, scale, offset = lowp.quantize_int8_rowwise(x)
+        recon = lowp.dequantize_int8_rowwise(codes, scale, offset)
+        # max error is half a quantization step per row
+        row_span = x.max(axis=1) - x.min(axis=1)
+        bound = row_span / 255.0 / 2.0 + 1e-6
+        assert np.all(np.abs(recon - x) <= bound[:, None])
+
+    def test_constant_row(self):
+        x = np.full((1, 8), 3.25, dtype=np.float32)
+        codes, scale, offset = lowp.quantize_int8_rowwise(x)
+        recon = lowp.dequantize_int8_rowwise(codes, scale, offset)
+        np.testing.assert_allclose(recon, x, atol=1e-6)
+
+    def test_extremes_exact(self):
+        """Row min and max reconstruct exactly (codes 0 and 255)."""
+        x = np.array([[0.0, 1.0, 0.25, 0.5]], dtype=np.float32)
+        codes, scale, offset = lowp.quantize_int8_rowwise(x)
+        recon = lowp.dequantize_int8_rowwise(codes, scale, offset)
+        assert recon[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert recon[0, 1] == pytest.approx(1.0, rel=1e-5)
+
+    def test_codes_dtype(self):
+        x = np.zeros((2, 4), dtype=np.float32)
+        codes, _, _ = lowp.quantize_int8_rowwise(x)
+        assert codes.dtype == np.uint8
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            lowp.quantize_int8_rowwise(np.zeros(4, dtype=np.float32))
+
+
+class TestBytesPerElement:
+    @pytest.mark.parametrize("dtype,expected", [
+        ("fp32", 4), ("fp16", 2), ("bf16", 2), ("int8", 1)])
+    def test_values(self, dtype, expected):
+        assert lowp.bytes_per_element(dtype) == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            lowp.bytes_per_element("fp8")

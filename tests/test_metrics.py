@@ -1,0 +1,95 @@
+"""Tests for normalized entropy and calibration metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import calibration, log_loss, normalized_entropy, relative_ne
+
+
+class TestLogLoss:
+    def test_perfect_predictions(self):
+        p = np.array([1.0, 0.0])
+        y = np.array([1.0, 0.0])
+        assert log_loss(p, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_predictions(self):
+        p = np.full(10, 0.5)
+        y = (np.arange(10) % 2).astype(float)
+        assert log_loss(p, y) == pytest.approx(math.log(2))
+
+    def test_clipping_avoids_inf(self):
+        assert np.isfinite(log_loss(np.array([0.0]), np.array([1.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_loss(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            log_loss(np.zeros(0), np.zeros(0))
+
+
+class TestNormalizedEntropy:
+    def test_base_rate_predictor_is_one(self):
+        """Predicting the base rate everywhere gives NE = 1 exactly."""
+        y = np.array([1.0] * 3 + [0.0] * 7)
+        p = np.full(10, 0.3)
+        assert normalized_entropy(p, y) == pytest.approx(1.0)
+
+    def test_better_model_below_one(self):
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        p = np.array([0.9, 0.8, 0.1, 0.2])
+        assert normalized_entropy(p, y) < 1.0
+
+    def test_worse_than_base_above_one(self):
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        p = np.array([0.1, 0.2, 0.9, 0.8])  # anti-correlated
+        assert normalized_entropy(p, y) > 1.0
+
+    def test_explicit_base_rate(self):
+        y = np.array([1.0, 0.0])
+        p = np.array([0.5, 0.5])
+        ne = normalized_entropy(p, y, base_rate=0.5)
+        assert ne == pytest.approx(1.0)
+
+    def test_lower_is_better_ordering(self):
+        y = (np.random.default_rng(0).random(1000) < 0.3).astype(float)
+        sharp = np.where(y == 1, 0.8, 0.1)
+        dull = np.where(y == 1, 0.4, 0.25)
+        assert normalized_entropy(sharp, y) < normalized_entropy(dull, y)
+
+
+class TestRelativeNE:
+    def test_normalizes_to_final(self):
+        curve = relative_ne([2.0, 1.5, 1.0])
+        np.testing.assert_allclose(curve, [2.0, 1.5, 1.0])
+
+    def test_explicit_reference(self):
+        curve = relative_ne([2.0, 1.0], reference=2.0)
+        np.testing.assert_allclose(curve, [1.0, 0.5])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            relative_ne([])
+
+    def test_bad_reference_raises(self):
+        with pytest.raises(ValueError):
+            relative_ne([1.0], reference=0.0)
+
+
+class TestCalibration:
+    def test_perfectly_calibrated(self):
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        p = np.full(4, 0.5)
+        assert calibration(p, y) == pytest.approx(1.0)
+
+    def test_overprediction(self):
+        y = np.array([1.0, 0.0, 0.0, 0.0])
+        p = np.full(4, 0.5)
+        assert calibration(p, y) == pytest.approx(2.0)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            calibration(np.full(2, 0.5), np.zeros(2))

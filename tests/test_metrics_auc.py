@@ -1,0 +1,93 @@
+"""Tests for the ROC-AUC metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import roc_auc
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        p = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(p, y) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        p = np.array([0.9, 0.8, 0.2, 0.1])
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc(p, y) == pytest.approx(0.0)
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(10_000)
+        y = (rng.random(10_000) < 0.3).astype(float)
+        assert roc_auc(p, y) == pytest.approx(0.5, abs=0.02)
+
+    def test_constant_predictions_are_half(self):
+        """All-tied predictions give exactly 0.5 (average ranks)."""
+        p = np.full(10, 0.7)
+        y = np.array([1, 0] * 5, dtype=float)
+        assert roc_auc(p, y) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        """AUC == P(score_pos > score_neg) + 0.5 P(tie), brute force."""
+        rng = np.random.default_rng(1)
+        p = np.round(rng.random(50), 1)  # coarse grid -> ties exist
+        y = (rng.random(50) < 0.4).astype(float)
+        pos = p[y == 1]
+        neg = p[y == 0]
+        wins = sum((a > b) + 0.5 * (a == b) for a in pos for b in neg)
+        brute = wins / (len(pos) * len(neg))
+        assert roc_auc(p, y) == pytest.approx(brute, rel=1e-9)
+
+    def test_invariant_to_monotone_transform(self):
+        """AUC only depends on ranking — calibration-free, unlike NE."""
+        rng = np.random.default_rng(2)
+        p = rng.random(200)
+        y = (rng.random(200) < p).astype(float)
+        assert roc_auc(p, y) == pytest.approx(roc_auc(p ** 3, y), rel=1e-9)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.5, 0.6]), np.array([1.0, 1.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(0), np.zeros(0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=30)
+    def test_bounded_property(self, n):
+        rng = np.random.default_rng(n)
+        p = rng.random(n)
+        y = np.zeros(n)
+        y[: max(1, n // 3)] = 1.0
+        rng.shuffle(y)
+        if y.sum() in (0, n):
+            return
+        assert 0.0 <= roc_auc(p, y) <= 1.0
+
+    def test_trained_model_beats_random(self):
+        """A trained DLRM's AUC > 0.5 on the synthetic task."""
+        from repro import nn
+        from repro.data import SyntheticCTRDataset
+        from repro.embedding import EmbeddingTableConfig, SparseSGD
+        from repro.models import DLRM, DLRMConfig
+
+        tables = (EmbeddingTableConfig("t0", 64, 8, avg_pooling=3.0),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        ds = SyntheticCTRDataset(tables, dense_dim=4, noise=0.2, seed=1)
+        model = DLRM(config, seed=0)
+        opt = nn.Adam(model.dense_parameters(), lr=0.02)
+        sparse = SparseSGD(lr=0.1)
+        for i in range(80):
+            model.train_step(ds.batch(64, i), opt, sparse)
+        test = ds.batch(2048, 9999)
+        assert roc_auc(model.predict_proba(test), test.labels) > 0.6

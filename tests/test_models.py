@@ -1,0 +1,164 @@
+"""Tests for the DLRM reference model and the Table 3 model zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig, SparseSGD
+from repro.metrics import normalized_entropy
+from repro.models import (DLRM, MODEL_NAMES, TABLE3_REFERENCE, DLRMConfig,
+                          full_spec, mini_config)
+
+
+def small_config(num_tables=2, h=32, d=8):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", h, d, avg_pooling=3.0)
+                   for i in range(num_tables))
+    return DLRMConfig(dense_dim=4, bottom_mlp=(8, d), tables=tables,
+                      top_mlp=(8,))
+
+
+class TestDLRMConfig:
+    def test_dim_mismatch_rejected(self):
+        tables = (EmbeddingTableConfig("t", 16, 4),)
+        with pytest.raises(ValueError, match="dot interaction"):
+            DLRMConfig(dense_dim=4, bottom_mlp=(8,), tables=tables,
+                       top_mlp=(8,))
+
+    def test_interaction_dim(self):
+        cfg = small_config(num_tables=3, d=8)
+        # 4 features (dense + 3 tables): 8 + C(4,2) = 8 + 6
+        assert cfg.interaction_dim == 14
+
+    def test_parameter_counts(self):
+        cfg = small_config(num_tables=2, h=32, d=8)
+        assert cfg.num_embedding_parameters() == 2 * 32 * 8
+        dense = (4 * 8 + 8) + (8 * 8 + 8) \
+            + (cfg.interaction_dim * 8 + 8) + (8 * 1 + 1)
+        assert cfg.num_dense_parameters() == dense
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(ValueError):
+            DLRMConfig(dense_dim=4, bottom_mlp=(8,), tables=(),
+                       top_mlp=(8,))
+
+
+class TestDLRM:
+    def test_forward_shape(self):
+        cfg = small_config()
+        model = DLRM(cfg)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4)
+        logits = model.forward(ds.batch(16))
+        assert logits.shape == (16,)
+
+    def test_deterministic_init(self):
+        cfg = small_config()
+        m1, m2 = DLRM(cfg, seed=3), DLRM(cfg, seed=3)
+        b = SyntheticCTRDataset(cfg.tables, dense_dim=4).batch(8)
+        np.testing.assert_array_equal(m1.forward(b), m2.forward(b))
+
+    def test_seeds_differ(self):
+        cfg = small_config()
+        m1, m2 = DLRM(cfg, seed=1), DLRM(cfg, seed=2)
+        b = SyntheticCTRDataset(cfg.tables, dense_dim=4).batch(8)
+        assert not np.array_equal(m1.forward(b), m2.forward(b))
+
+    def test_training_learns_synthetic_task(self):
+        """End-to-end: a DLRM beats the base-rate predictor (NE < 1)."""
+        cfg = small_config(num_tables=2, h=64)
+        model = DLRM(cfg, seed=0)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4, noise=0.2, seed=1)
+        dense_opt = nn.Adam(model.dense_parameters(), lr=0.01)
+        sparse_opt = SparseSGD(lr=0.1)
+        for i in range(150):
+            model.train_step(ds.batch(64, i), dense_opt, sparse_opt)
+        test = ds.batch(1024, 10_000)
+        ne = normalized_entropy(model.predict_proba(test), test.labels)
+        assert ne < 0.97
+
+    def test_train_step_reduces_loss(self):
+        cfg = small_config()
+        model = DLRM(cfg, seed=0)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=4, seed=2)
+        dense_opt = nn.SGD(model.dense_parameters(), lr=0.1)
+        sparse_opt = SparseSGD(lr=0.1)
+        losses = [model.train_step(ds.batch(64, i), dense_opt, sparse_opt)
+                  for i in range(40)]
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_predict_proba_in_range(self):
+        cfg = small_config()
+        model = DLRM(cfg)
+        b = SyntheticCTRDataset(cfg.tables, dense_dim=4).batch(32)
+        p = model.predict_proba(b)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestZooFullSpecs:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_parameter_count_matches_table3(self, name):
+        spec = full_spec(name)
+        ref = TABLE3_REFERENCE[name]
+        assert spec.num_parameters == pytest.approx(ref["num_parameters"],
+                                                    rel=0.15)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_table_count(self, name):
+        spec = full_spec(name)
+        assert len(spec.tables) == TABLE3_REFERENCE[name]["num_tables"]
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_dims_in_declared_range(self, name):
+        spec = full_spec(name)
+        lo, hi = TABLE3_REFERENCE[name]["dim_range"]
+        for t in spec.tables:
+            assert lo <= t.embedding_dim <= hi
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_pooling_near_declared(self, name):
+        spec = full_spec(name)
+        assert spec.avg_pooling == pytest.approx(
+            TABLE3_REFERENCE[name]["avg_pooling"], rel=0.25)
+
+    def test_f1_has_massive_tables(self):
+        """Section 5.3.3: F1's tables have ~10B rows each."""
+        spec = full_spec("F1")
+        for t in spec.tables:
+            assert t.num_embeddings > 1e9
+            assert t.embedding_dim == 256
+
+    def test_a2_stresses_compute(self):
+        """A2 declared MFLOPS is ~7x A1's (Table 3)."""
+        a1 = full_spec("A1")
+        a2 = full_spec("A2")
+        assert a2.declared_mflops_per_sample > \
+            5 * a1.declared_mflops_per_sample
+        assert a2.mlp_flops_per_sample() > 5 * a1.mlp_flops_per_sample()
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            full_spec("B9")
+
+    def test_deterministic(self):
+        s1, s2 = full_spec("A1", seed=0), full_spec("A1", seed=0)
+        assert [t.num_embeddings for t in s1.tables] == \
+            [t.num_embeddings for t in s2.tables]
+
+
+class TestZooMiniConfigs:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_mini_is_trainable_config(self, name):
+        cfg = mini_config(name)
+        model = DLRM(cfg, seed=0)
+        ds = SyntheticCTRDataset(cfg.tables, dense_dim=cfg.dense_dim)
+        logits = model.forward(ds.batch(8))
+        assert logits.shape == (8,)
+
+    def test_mini_scale_parameter(self):
+        cfg = mini_config("A1", scale=128)
+        for t in cfg.tables:
+            assert t.num_embeddings == 128
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            mini_config("Z1")

@@ -1,0 +1,69 @@
+"""Tests for weight initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavierUniform:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 32), rng)
+        limit = math.sqrt(6.0 / (32 + 64))
+        assert np.all(np.abs(w) <= limit)
+
+    def test_dtype(self):
+        w = init.xavier_uniform((4, 4), np.random.default_rng(0))
+        assert w.dtype == np.float32
+
+    def test_deterministic(self):
+        a = init.xavier_uniform((8, 8), np.random.default_rng(7))
+        b = init.xavier_uniform((8, 8), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_variance_near_glorot(self):
+        rng = np.random.default_rng(1)
+        w = init.xavier_uniform((512, 512), rng)
+        expected_var = 2.0 / (512 + 512)
+        assert w.var() == pytest.approx(expected_var, rel=0.1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((4,), np.random.default_rng(0))
+
+
+class TestXavierNormal:
+    def test_std(self):
+        rng = np.random.default_rng(2)
+        w = init.xavier_normal((512, 512), rng)
+        expected_std = math.sqrt(2.0 / 1024)
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+
+class TestKaimingUniform:
+    def test_bounds_use_fan_in(self):
+        rng = np.random.default_rng(3)
+        w = init.kaiming_uniform((64, 16), rng)  # fan_in = 16
+        limit = math.sqrt(6.0 / 16)
+        assert np.all(np.abs(w) <= limit)
+        assert np.max(np.abs(w)) > 0.8 * limit  # actually fills the range
+
+
+class TestSimple:
+    def test_normal_std(self):
+        rng = np.random.default_rng(4)
+        w = init.normal((1000, 4), rng, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(5)
+        w = init.uniform((100, 4), rng, low=-0.2, high=0.3)
+        assert w.min() >= -0.2 and w.max() <= 0.3
+
+    def test_zeros(self):
+        w = init.zeros((3, 3))
+        np.testing.assert_array_equal(w, np.zeros((3, 3)))
+        assert w.dtype == np.float32

@@ -1,0 +1,161 @@
+"""Tests for dense optimizers: closed-form single steps and convergence."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_param(values):
+    p = nn.Parameter(np.array(values, dtype=np.float32))
+    return p
+
+
+def set_grad(p, values):
+    p.grad = np.array(values, dtype=np.float32)
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = make_param([1.0, 2.0])
+        opt = nn.SGD([p], lr=0.5)
+        set_grad(p, [0.2, -0.4])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9, 2.2], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        set_grad(p, [1.0])
+        opt.step()  # buf = 1.0, p = -1.0
+        set_grad(p, [1.0])
+        opt.step()  # buf = 1.9, p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_weight_decay(self):
+        p = make_param([2.0])
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        set_grad(p, [0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0], rtol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p = make_param([1.0])
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([0.0])], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([0.0])], lr=0.1, momentum=1.0)
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        opt = nn.SGD([p], lr=0.1)
+        set_grad(p, [1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdaGrad:
+    def test_first_step_closed_form(self):
+        p = make_param([1.0])
+        opt = nn.AdaGrad([p], lr=0.1, eps=0.0)
+        set_grad(p, [2.0])
+        opt.step()
+        # update = lr * g / sqrt(g^2) = lr * sign(g)
+        np.testing.assert_allclose(p.data, [0.9], rtol=1e-6)
+
+    def test_accumulator_shrinks_steps(self):
+        p = make_param([0.0])
+        opt = nn.AdaGrad([p], lr=1.0, eps=0.0)
+        deltas = []
+        for _ in range(3):
+            before = p.data.copy()
+            set_grad(p, [1.0])
+            opt.step()
+            deltas.append(abs(float(p.data[0] - before[0])))
+        assert deltas[0] > deltas[1] > deltas[2]
+        np.testing.assert_allclose(deltas, [1.0, 1 / np.sqrt(2), 1 / np.sqrt(3)],
+                                   rtol=1e-5)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction the first Adam step is ~lr * sign(g)."""
+        p = make_param([1.0])
+        opt = nn.Adam([p], lr=0.01, eps=0.0)
+        set_grad(p, [123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.99], rtol=1e-5)
+
+    def test_state_advances(self):
+        p = make_param([0.0])
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(3):
+            set_grad(p, [1.0])
+            opt.step()
+        assert int(opt.state_for(p)["t"][0]) == 3
+
+
+class TestLAMB:
+    def test_trust_ratio_scales_update(self):
+        """Doubling the weights doubles the LAMB step (fixed direction)."""
+        p1 = make_param([1.0, 0.0])
+        p2 = make_param([2.0, 0.0])
+        opt1 = nn.LAMB([p1], lr=0.1, weight_decay=0.0)
+        opt2 = nn.LAMB([p2], lr=0.1, weight_decay=0.0)
+        set_grad(p1, [1.0, 0.0])
+        set_grad(p2, [1.0, 0.0])
+        opt1.step()
+        opt2.step()
+        step1 = 1.0 - float(p1.data[0])
+        step2 = 2.0 - float(p2.data[0])
+        assert step2 == pytest.approx(2 * step1, rel=1e-4)
+
+    def test_zero_weight_trust_is_one(self):
+        p = make_param([0.0])
+        opt = nn.LAMB([p], lr=0.1, weight_decay=0.0)
+        set_grad(p, [1.0])
+        opt.step()  # must not divide by zero
+        assert np.isfinite(p.data).all()
+
+
+@pytest.mark.parametrize("opt_cls,kwargs", [
+    (nn.SGD, {"lr": 0.1}),
+    (nn.SGD, {"lr": 0.05, "momentum": 0.9}),
+    (nn.AdaGrad, {"lr": 0.5}),
+    (nn.Adam, {"lr": 0.05}),
+    (nn.LAMB, {"lr": 0.05, "weight_decay": 0.0}),
+])
+def test_optimizers_minimize_quadratic(opt_cls, kwargs):
+    """Every optimizer should drive a convex quadratic toward its minimum."""
+    target = np.array([3.0, -2.0], dtype=np.float32)
+    p = nn.Parameter(np.zeros(2, dtype=np.float32))
+    opt = opt_cls([p], **kwargs)
+    for _ in range(300):
+        p.grad = (p.data - target).astype(np.float32)
+        opt.step()
+    assert float(np.linalg.norm(p.data - target)) < 0.3
+
+
+def test_optimizers_train_xor_mlp():
+    """Integration: an MLP + Adam learns XOR, end to end."""
+    rng = np.random.default_rng(3)
+    mlp = nn.MLP([2, 16, 1], rng=rng)
+    loss_fn = nn.BCEWithLogitsLoss()
+    opt = nn.Adam(mlp.parameters(), lr=0.05)
+    x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float32)
+    y = np.array([0, 1, 1, 0], dtype=np.float32)
+    for _ in range(1500):
+        logits = mlp.forward(x)[:, 0]
+        loss_fn.forward(logits, y)
+        mlp.zero_grad()
+        mlp.backward(loss_fn.backward()[:, None])
+        opt.step()
+    final = loss_fn.forward(mlp.forward(x)[:, 0], y)
+    assert final < 0.1

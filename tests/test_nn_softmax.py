@@ -1,0 +1,119 @@
+"""Tests for the Softmax layer and cross-entropy loss."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import CrossEntropyLoss, Softmax
+
+from .helpers import numerical_gradient
+
+
+class TestSoftmaxLayer:
+    def test_rows_sum_to_one(self):
+        layer = Softmax()
+        rng = np.random.default_rng(0)
+        out = layer.forward(rng.normal(size=(5, 7)).astype(np.float32))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-5)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Softmax()
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+
+        def f(v):
+            out = nn.functional.softmax(v, axis=-1)
+            return float(np.sum(out.astype(np.float64) ** 2) / 2)
+
+        y = layer.forward(x)
+        dx = layer.backward(y.astype(np.float32))
+        np.testing.assert_allclose(dx, numerical_gradient(f, x), rtol=3e-2,
+                                   atol=1e-4)
+
+    def test_backward_of_constant_upstream_is_zero(self):
+        """Softmax output sums to 1, so a constant upstream gradient has
+        zero effect (shift invariance in the backward direction)."""
+        layer = Softmax()
+        rng = np.random.default_rng(2)
+        layer.forward(rng.normal(size=(2, 5)).astype(np.float32))
+        dx = layer.backward(np.ones((2, 5), dtype=np.float32))
+        np.testing.assert_allclose(dx, np.zeros((2, 5)), atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Softmax().backward(np.zeros((1, 2), dtype=np.float32))
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 8), dtype=np.float32)
+        labels = np.array([0, 3, 5, 7])
+        assert loss.forward(logits, labels) == pytest.approx(np.log(8))
+
+    def test_confident_correct_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        assert loss.forward(logits, np.array([1, 2])) == \
+            pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        loss = CrossEntropyLoss()
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(4, 5)).astype(np.float32)
+        labels = np.array([0, 2, 4, 1])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        probs = nn.functional.softmax(logits, axis=1)
+        expected = probs.copy()
+        expected[np.arange(4), labels] -= 1.0
+        np.testing.assert_allclose(grad, expected / 4, rtol=1e-5)
+
+    def test_gradient_numerical_check(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(3, 4)).astype(np.float32)
+        labels = np.array([1, 0, 3])
+        loss = CrossEntropyLoss()
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        numeric = numerical_gradient(
+            lambda v: CrossEntropyLoss().forward(v, labels), logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=2e-2, atol=1e-4)
+
+    def test_stable_at_extreme_logits(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[1e4, -1e4]], dtype=np.float32)
+        assert np.isfinite(loss.forward(logits, np.array([0])))
+
+    def test_validation(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(3, dtype=np.float32), np.array([0]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3), dtype=np.float32),
+                         np.array([0]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((1, 3), dtype=np.float32),
+                         np.array([3]))
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_mlp_with_softmax_head_trains(self):
+        """The Appendix A benchmark shape: MLP + softmax + CE learns a
+        3-class toy problem."""
+        rng = np.random.default_rng(5)
+        mlp = nn.MLP([4, 16, 3], rng=rng)
+        loss_fn = CrossEntropyLoss()
+        opt = nn.Adam(mlp.parameters(), lr=0.05)
+        x = rng.normal(size=(96, 4)).astype(np.float32)
+        labels = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        losses = []
+        for _ in range(150):
+            logits = mlp.forward(x)
+            losses.append(loss_fn.forward(logits, labels))
+            mlp.zero_grad()
+            mlp.backward(loss_fn.backward())
+            opt.step()
+        assert losses[-1] < 0.3 * losses[0]

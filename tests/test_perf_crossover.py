@@ -1,0 +1,85 @@
+"""Tests for the DP-vs-TW crossover analysis."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (crossover_sweep, dp_vs_tw_cost, find_dp_crossover)
+from repro.sharding import CostModelParams
+
+
+def params(**kw):
+    defaults = dict(global_batch=65536, world_size=128)
+    defaults.update(kw)
+    return CostModelParams(**defaults)
+
+
+class TestDpVsTwCost:
+    def test_dp_cost_grows_with_rows(self):
+        p = params()
+        dp_small, _ = dp_vs_tw_cost(1000, 64, 10.0, p)
+        dp_big, _ = dp_vs_tw_cost(1_000_000, 64, 10.0, p)
+        assert dp_big > dp_small
+
+    def test_tw_cost_row_insensitive(self):
+        """TW cost is batch-driven, nearly flat in H (locality aside)."""
+        p = params()
+        _, tw_small = dp_vs_tw_cost(1000, 64, 10.0, p)
+        _, tw_big = dp_vs_tw_cost(1_000_000, 64, 10.0, p)
+        assert tw_big == pytest.approx(tw_small, rel=0.05)
+
+
+class TestCrossover:
+    def test_crossover_exists_and_is_exact(self):
+        """At the crossover DP wins; one row beyond, it loses."""
+        p = params()
+        point = find_dp_crossover(64, 10.0, p)
+        assert point.crossover_rows > 0
+        dp, tw = dp_vs_tw_cost(point.crossover_rows, 64, 10.0, p)
+        assert dp < tw
+        dp2, tw2 = dp_vs_tw_cost(point.crossover_rows + 1, 64, 10.0, p)
+        assert dp2 >= tw2
+
+    def test_heavier_pooling_raises_crossover(self):
+        """More lookups per sample make TW's AlltoAll dearer, so DP stays
+        profitable for bigger tables."""
+        p = params()
+        light = find_dp_crossover(64, 2.0, p)
+        heavy = find_dp_crossover(64, 50.0, p)
+        assert heavy.crossover_rows > light.crossover_rows
+
+    def test_crossover_order_of_magnitude(self):
+        """Sanity: the break-even for typical shapes sits in the small-
+        table regime (10^3-10^6 rows) — consistent with Sec 4.2.4 calling
+        'small tables with fewer rows' the DP candidates."""
+        p = params()
+        point = find_dp_crossover(64, 20.0, p)
+        assert 10 ** 3 < point.crossover_rows < 10 ** 7
+
+    def test_sweep_grid(self):
+        p = params()
+        points = crossover_sweep([16, 64], [5.0, 20.0], p)
+        assert len(points) == 4
+        assert all(pt.crossover_rows >= 0 for pt in points)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_dp_crossover(0, 10.0, params())
+        with pytest.raises(ValueError):
+            find_dp_crossover(16, 0.0, params())
+
+    def test_informs_planner_threshold(self):
+        """The crossover justifies a planner dp_threshold_rows setting:
+        tables below the crossover should prefer DP by cost."""
+        from repro.embedding import EmbeddingTableConfig
+        from repro.sharding import (EmbeddingShardingPlanner, PlannerConfig,
+                                    ShardingScheme)
+        p = params(world_size=8)
+        point = find_dp_crossover(16, 5.0, p)
+        threshold = max(1, point.crossover_rows)
+        planner = EmbeddingShardingPlanner(
+            PlannerConfig(world_size=8, ranks_per_node=8,
+                          dp_threshold_rows=threshold), cost_params=p)
+        below = EmbeddingTableConfig("small", max(threshold // 2, 1), 16,
+                                     avg_pooling=5.0)
+        assert planner.choose_scheme(below) == \
+            ShardingScheme.DATA_PARALLEL

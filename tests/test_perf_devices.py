@@ -1,0 +1,147 @@
+"""Tests for device specs, GEMM/MLP models, and embedding bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (A100, CPU_SKYLAKE, V100, embedding_achieved_bw,
+                        embedding_lookup_time, embedding_update_time,
+                        fused_speedup, gemm_tflops, gemm_time, mlp_benchmark,
+                        mlp_time)
+
+
+class TestDeviceSpecs:
+    def test_v100_achieved_hbm(self):
+        """Section 5.1: 850 GB/s achieved on V100."""
+        assert V100.hbm_achievable_bw == 850e9
+
+    def test_a100_achieved_hbm(self):
+        """Section 5.1: 1300 GB/s achieved on A100."""
+        assert A100.hbm_achievable_bw == 1300e9
+
+    def test_v100_fp32_efficiency_ceiling(self):
+        """Section 5.1: up to 78.6% compute efficiency on V100."""
+        assert V100.max_efficiency["fp32"] == pytest.approx(0.786)
+
+    def test_a100_tf32_efficiency_ceiling(self):
+        """Section 5.1: 70.5% on A100 (TF32 tensor core path)."""
+        assert A100.max_efficiency["tf32"] == pytest.approx(0.705)
+
+    def test_unsupported_precision_raises(self):
+        with pytest.raises(ValueError):
+            V100.achievable_flops("tf32", 1e9)  # TF32 is A100-only
+
+    def test_efficiency_saturates(self):
+        small = V100.achievable_flops("fp32", 1e6)
+        large = V100.achievable_flops("fp32", 1e12)
+        assert small < large
+        assert large <= V100.peak_flops["fp32"] * V100.max_efficiency["fp32"]
+
+
+class TestGemmModel:
+    def test_tflops_grow_with_size(self):
+        """Figs 14-15: achieved TF/s rises with problem size."""
+        sizes = [128, 512, 2048, 8192]
+        tf = [gemm_tflops(n, n, n, V100) for n in sizes]
+        assert all(a < b for a, b in zip(tf, tf[1:]))
+
+    def test_large_gemm_near_ceiling(self):
+        tf = gemm_tflops(8192, 8192, 8192, V100)
+        ceiling = 15.7 * 0.786
+        assert tf == pytest.approx(ceiling, rel=0.05)
+
+    def test_fp16_faster_than_fp32(self):
+        """Fig 15 vs 14: tensor cores lift the ceiling."""
+        assert gemm_tflops(4096, 4096, 4096, V100, "fp16") > \
+            2 * gemm_tflops(4096, 4096, 4096, V100, "fp32")
+
+    def test_a100_tf32_beats_v100_fp32(self):
+        assert gemm_tflops(4096, 4096, 4096, A100, "tf32") > \
+            3 * gemm_tflops(4096, 4096, 4096, V100, "fp32")
+
+    def test_tiny_gemm_memory_or_launch_bound(self):
+        tf = gemm_tflops(16, 16, 16, V100)
+        assert tf < 0.1  # far below ceiling
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            gemm_time(0, 4, 4, V100)
+
+
+class TestMLPModel:
+    def test_benchmark_shapes_match_appendix(self):
+        """Appendix A: batch 128..4096, 20 layers of 1K/2K/4K."""
+        for batch in (128, 4096):
+            for width in (1024, 4096):
+                result = mlp_benchmark(batch, width, 20, V100)
+                assert result.forward_seconds > 0
+                assert result.backward_seconds > result.forward_seconds
+                assert result.achieved_tflops > 0
+
+    def test_efficiency_grows_with_batch(self):
+        """Figs 16-17: larger batch -> higher achieved TF/s."""
+        tf = [mlp_benchmark(b, 2048, 20, V100).achieved_tflops
+              for b in (128, 512, 2048)]
+        assert tf[0] < tf[1] < tf[2]
+
+    def test_backward_is_double_forward(self):
+        t_fwd = mlp_time(1024, [512] * 5, V100)
+        t_bwd = mlp_time(1024, [512] * 5, V100, backward=True)
+        assert t_bwd == pytest.approx(2 * t_fwd)
+
+    def test_cpu_much_slower(self):
+        """The GPU-offload premise: MLPs run far faster on V100."""
+        assert mlp_time(512, [1024] * 10, CPU_SKYLAKE) > \
+            3 * mlp_time(512, [1024] * 10, V100)
+
+
+class TestEmbeddingBandwidth:
+    def test_wide_rows_near_hbm_ceiling(self):
+        """Fig 18: D=128 fp32 approaches achieved HBM bandwidth."""
+        bw = embedding_achieved_bw(V100, 128, "fp32")
+        assert bw > 0.85 * V100.hbm_achievable_bw
+
+    def test_narrow_rows_degrade(self):
+        assert embedding_achieved_bw(V100, 4) < \
+            embedding_achieved_bw(V100, 128) / 2
+
+    def test_fp16_lower_bytes_per_sec_same_dim(self):
+        """Fig 18 shape: fp16 achieved *bytes/s* drops slightly for the
+        same D (half the useful bytes per transaction)..."""
+        assert embedding_achieved_bw(V100, 32, "fp16") < \
+            embedding_achieved_bw(V100, 32, "fp32")
+
+    def test_fp16_faster_lookup_wall_clock(self):
+        """...but fp16 still wins on time: half the bytes to move."""
+        t32 = embedding_lookup_time(10 ** 6, 128, V100, "fp32")
+        t16 = embedding_lookup_time(10 ** 6, 128, V100, "fp16")
+        assert t16 < t32
+
+    def test_a100_faster_than_v100(self):
+        """Figs 18-19: A100 sustains higher lookup bandwidth."""
+        assert embedding_achieved_bw(A100, 128) > \
+            embedding_achieved_bw(V100, 128)
+
+    def test_update_costs_double(self):
+        t_fwd = embedding_lookup_time(10 ** 6, 128, V100)
+        t_bwd = embedding_update_time(10 ** 6, 128, V100)
+        assert t_bwd == pytest.approx(2 * t_fwd, rel=0.01)
+
+    def test_negative_nnz_raises(self):
+        with pytest.raises(ValueError):
+            embedding_lookup_time(-1, 128, V100)
+
+
+class TestFusedSpeedup:
+    def test_many_small_tables_big_speedup(self):
+        """Section 4.1.1: fusing ~1000 small lookups gives up to ~7x."""
+        per_table = [2048] * 1000  # small per-table work
+        s = fused_speedup(per_table, 32, V100)
+        assert 3.0 < s < 20.0
+
+    def test_single_table_no_speedup(self):
+        assert fused_speedup([10 ** 6], 128, V100) == pytest.approx(1.0)
+
+    def test_large_tables_less_benefit(self):
+        small_work = fused_speedup([1000] * 100, 64, V100)
+        big_work = fused_speedup([10 ** 6] * 100, 64, V100)
+        assert big_work < small_work

@@ -1,0 +1,77 @@
+"""Tests for online-training cluster sizing with hierarchical memory."""
+
+import numpy as np
+import pytest
+
+from repro.models import full_spec
+from repro.perf import (hierarchy_bw_fraction, min_nodes_for, sizing_sweep)
+
+
+class TestHierarchyBwFraction:
+    def test_all_hbm_is_one(self):
+        assert hierarchy_bw_fraction(1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_residency(self):
+        fracs = [hierarchy_bw_fraction(f) for f in (0.1, 0.5, 0.9, 1.0)]
+        assert all(a < b for a, b in zip(fracs, fracs[1:]))
+
+    def test_cache_softens_the_cliff(self):
+        """A better cache hit rate recovers bandwidth at low residency."""
+        cold = hierarchy_bw_fraction(0.2, cache_hit_boost=0.0)
+        warm = hierarchy_bw_fraction(0.2, cache_hit_boost=0.9)
+        assert warm > 3 * cold
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchy_bw_fraction(1.5)
+        with pytest.raises(ValueError):
+            hierarchy_bw_fraction(0.5, cache_hit_boost=1.0)
+
+
+class TestSizing:
+    def test_f1_needs_many_nodes_for_capacity(self):
+        """F1 (24 TB in fp16+rowwise) cannot fit on 8 nodes but fits on
+        16 — the capacity wall is independent of throughput."""
+        sweep = sizing_sweep(full_spec("F1"), target_qps=1e3,
+                             node_counts=[8, 16])
+        by_nodes = {s.nodes: s for s in sweep}
+        assert not by_nodes[8].fits
+        assert by_nodes[16].fits
+
+    def test_a1_fits_one_node(self):
+        """A1 in fp16 (~190 GB) fits a single node's HBM+DRAM — the
+        online-training scenario of Section 1."""
+        sweep = sizing_sweep(full_spec("A1"), target_qps=1e3,
+                             node_counts=[1])
+        assert sweep[0].fits
+        assert sweep[0].achieved_qps > 0
+
+    def test_min_nodes_monotone_in_target(self):
+        """A higher throughput target never needs fewer nodes."""
+        spec = full_spec("A1")
+        low = min_nodes_for(spec, target_qps=50e3)
+        high = min_nodes_for(spec, target_qps=800e3)
+        assert low is not None and high is not None
+        assert high.nodes >= low.nodes
+
+    def test_min_nodes_result_is_minimal(self):
+        spec = full_spec("A1")
+        result = min_nodes_for(spec, target_qps=500e3)
+        assert result is not None and result.meets_target
+        if result.nodes > 1:
+            below = sizing_sweep(spec, 500e3, [result.nodes - 1])[0]
+            assert not below.meets_target
+
+    def test_unreachable_target_returns_none(self):
+        assert min_nodes_for(full_spec("A1"), target_qps=1e12,
+                             max_nodes=2) is None
+
+    def test_hbm_fraction_grows_with_nodes(self):
+        sweep = sizing_sweep(full_spec("F1"), target_qps=1e3,
+                             node_counts=[16, 32, 64])
+        fracs = [s.hbm_fraction for s in sweep]
+        assert all(a < b for a, b in zip(fracs, fracs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_nodes_for(full_spec("A1"), target_qps=0)

@@ -1,0 +1,95 @@
+"""Tests for the sensitivity-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.comms import PROTOTYPE_TOPOLOGY
+from repro.models import full_spec
+from repro.perf import (KNOBS, SweepPoint, TrainingSetup, elasticity,
+                        sensitivity_report, sweep_knob)
+
+
+def base_setup(nodes=16):
+    return TrainingSetup(spec=full_spec("A2"),
+                         topology=PROTOTYPE_TOPOLOGY(nodes),
+                         global_batch=65536, load_imbalance=1.15)
+
+
+class TestSweepKnob:
+    def test_sweep_values_recorded(self):
+        points = sweep_knob(base_setup(), "load_imbalance",
+                            [1.0, 1.5, 2.0])
+        assert [p.value for p in points] == [1.0, 1.5, 2.0]
+        assert all(p.qps > 0 for p in points)
+
+    def test_imbalance_monotone_down(self):
+        points = sweep_knob(base_setup(), "load_imbalance",
+                            [1.0, 1.5, 2.0, 3.0])
+        qps = [p.qps for p in points]
+        assert all(a >= b for a, b in zip(qps, qps[1:]))
+
+    def test_scaleout_monotone_up(self):
+        points = sweep_knob(base_setup(), "scaleout_bw",
+                            [5e9, 12.5e9, 25e9])
+        qps = [p.qps for p in points]
+        assert all(a <= b for a, b in zip(qps, qps[1:]))
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError):
+            sweep_knob(base_setup(), "gpu_color", [1.0])
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            sweep_knob(base_setup(), "scaleout_bw", [])
+
+    def test_every_registered_knob_works(self):
+        setup = base_setup()
+        centers = {
+            "global_batch": 65536, "load_imbalance": 1.5,
+            "scaleout_bw": 12.5e9, "scaleup_bw": 150e9,
+            "hbm_fraction": 0.5,
+        }
+        for knob in KNOBS:
+            points = sweep_knob(setup, knob, [centers[knob]])
+            assert points[0].qps > 0
+
+
+class TestElasticity:
+    def test_unit_slope(self):
+        points = [SweepPoint("x", v, 10.0 * v) for v in (1.0, 2.0, 4.0)]
+        assert elasticity(points) == pytest.approx(1.0)
+
+    def test_flat_response(self):
+        points = [SweepPoint("x", v, 42.0) for v in (1.0, 2.0, 4.0)]
+        assert elasticity(points) == pytest.approx(0.0, abs=1e-9)
+
+    def test_inverse_slope(self):
+        points = [SweepPoint("x", v, 8.0 / v) for v in (1.0, 2.0, 4.0)]
+        assert elasticity(points) == pytest.approx(-1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            elasticity([SweepPoint("x", 1.0, 1.0)])
+
+    def test_needs_variation(self):
+        with pytest.raises(ValueError):
+            elasticity([SweepPoint("x", 1.0, 1.0),
+                        SweepPoint("x", 1.0, 2.0)])
+
+
+class TestReport:
+    def test_all_knobs_present(self):
+        result = sensitivity_report(base_setup(), span=1.5, points=3)
+        assert set(result) == set(KNOBS)
+
+    def test_binding_resources_at_scale(self):
+        """At 128 GPUs the network binds; on one node it does not."""
+        big = sensitivity_report(base_setup(16), span=1.5, points=3)
+        small = sensitivity_report(base_setup(1), span=1.5, points=3)
+        assert big["scaleout_bw"] > small["scaleout_bw"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_report(base_setup(), span=1.0)
+        with pytest.raises(ValueError):
+            sensitivity_report(base_setup(), points=1)

@@ -1,0 +1,117 @@
+"""Tests for the scheme-assignment autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import EmbeddingTableConfig
+from repro.sharding import (CostModelParams, PlannerConfig, ShardingScheme,
+                            autotune_schemes, legal_schemes)
+
+
+def cfg(name="t", h=100_000, d=64, pooling=20.0):
+    return EmbeddingTableConfig(name, h, d, avg_pooling=pooling)
+
+
+def planner_config(**kw):
+    defaults = dict(world_size=8, ranks_per_node=8,
+                    device_memory_bytes=32e9)
+    defaults.update(kw)
+    return PlannerConfig(**defaults)
+
+
+class TestLegalSchemes:
+    def test_small_table_all_options(self):
+        options = legal_schemes(cfg(h=1000), planner_config())
+        assert ShardingScheme.TABLE_WISE in options
+        assert ShardingScheme.DATA_PARALLEL in options
+        assert ShardingScheme.ROW_WISE in options
+
+    def test_huge_table_row_wise_only(self):
+        options = legal_schemes(cfg(h=10 ** 9, d=64),
+                                planner_config(device_memory_bytes=1e9))
+        assert options == [ShardingScheme.ROW_WISE]
+
+    def test_cw_requires_wide_enough_dim(self):
+        options = legal_schemes(cfg(d=4), planner_config())
+        assert ShardingScheme.COLUMN_WISE not in options
+
+    def test_respects_disables(self):
+        options = legal_schemes(
+            cfg(h=1000),
+            planner_config(allow_data_parallel=False,
+                           allow_column_wise=False))
+        assert ShardingScheme.DATA_PARALLEL not in options
+        assert ShardingScheme.COLUMN_WISE not in options
+
+
+class TestAutotune:
+    def test_never_worse_than_heuristic(self):
+        rng = np.random.default_rng(0)
+        tables = [cfg(f"t{i}", h=int(rng.lognormal(10, 1)),
+                      d=int(rng.choice([16, 64, 256])),
+                      pooling=float(rng.integers(1, 40)))
+                  for i in range(24)]
+        result = autotune_schemes(tables, planner_config(),
+                                  CostModelParams(global_batch=8192,
+                                                  world_size=8))
+        assert result.final_cost <= result.initial_cost + 1e-12
+        result.plan.validate()
+
+    def test_improves_a_pathological_start(self):
+        """One dominant table: flipping it away from TW must help."""
+        tables = [cfg("huge", h=5_000_000, d=128, pooling=40.0)] + \
+                 [cfg(f"small{i}", h=2000, d=16, pooling=2.0)
+                  for i in range(7)]
+        result = autotune_schemes(
+            tables,
+            planner_config(allow_data_parallel=False,
+                           dp_threshold_rows=1),
+            CostModelParams(global_batch=8192, world_size=8))
+        # the straggler (rank holding 'huge') should be relieved
+        assert result.improvement > 0.05
+        assert result.schemes["huge"] != ShardingScheme.TABLE_WISE
+        assert len(result.flips) >= 1
+
+    def test_schemes_cover_all_tables(self):
+        tables = [cfg(f"t{i}") for i in range(6)]
+        result = autotune_schemes(tables, planner_config())
+        assert set(result.schemes) == {t.name for t in tables}
+
+    def test_deterministic(self):
+        tables = [cfg(f"t{i}", h=10_000 * (i + 1)) for i in range(6)]
+        a = autotune_schemes(tables, planner_config())
+        b = autotune_schemes(tables, planner_config())
+        assert a.schemes == b.schemes
+        assert a.final_cost == b.final_cost
+
+    def test_invalid_sweeps(self):
+        with pytest.raises(ValueError):
+            autotune_schemes([cfg()], planner_config(), max_sweeps=0)
+
+    def test_tuned_plan_trains(self):
+        """An autotuned plan drives the functional trainer correctly."""
+        from repro import nn
+        from repro.comms import ClusterTopology
+        from repro.core import NeoTrainer
+        from repro.data import SyntheticCTRDataset
+        from repro.embedding import SparseSGD
+        from repro.models import DLRMConfig
+
+        tables = tuple(
+            EmbeddingTableConfig(f"t{i}", 64 * (i + 1), 8, avg_pooling=3.0)
+            for i in range(3))
+        result = autotune_schemes(
+            list(tables),
+            planner_config(world_size=2, ranks_per_node=2,
+                           dp_threshold_rows=64),
+            CostModelParams(global_batch=16, world_size=2))
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        trainer = NeoTrainer(
+            config, result.plan,
+            ClusterTopology(num_nodes=1, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseSGD(lr=0.1))
+        ds = SyntheticCTRDataset(tables, dense_dim=4)
+        loss = trainer.train_step(ds.batch(16).split(2))
+        assert np.isfinite(loss)

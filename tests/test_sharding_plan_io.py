@@ -1,0 +1,108 @@
+"""Tests for sharding-plan serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.embedding import EmbeddingTableConfig
+from repro.sharding import (EmbeddingShardingPlanner, PlannerConfig,
+                            ShardingScheme, load_plan, plan_from_dict,
+                            plan_to_dict, save_plan, shard_table,
+                            ShardingPlan)
+
+
+def make_plan():
+    planner = EmbeddingShardingPlanner(PlannerConfig(
+        world_size=4, ranks_per_node=4, dp_threshold_rows=100))
+    tables = [
+        EmbeddingTableConfig("small", 50, 8, avg_pooling=2.0),
+        EmbeddingTableConfig("mid", 5000, 16, avg_pooling=5.0),
+        EmbeddingTableConfig("wide", 2000, 256, avg_pooling=3.0),
+    ]
+    return planner.plan(tables)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        plan = make_plan()
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.world_size == plan.world_size
+        assert set(restored.tables) == set(plan.tables)
+        for name in plan.tables:
+            a, b = plan.tables[name], restored.tables[name]
+            assert a.scheme == b.scheme
+            assert [(s.rank, s.row_range, s.col_range) for s in a.shards] \
+                == [(s.rank, s.row_range, s.col_range) for s in b.shards]
+            assert a.config == b.config
+
+    def test_file_round_trip(self, tmp_path):
+        plan = make_plan()
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert set(restored.tables) == set(plan.tables)
+
+    def test_json_is_stable(self, tmp_path):
+        """Same plan serializes to byte-identical JSON (sorted keys)."""
+        plan = make_plan()
+        p1, p2 = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        save_plan(plan, p1)
+        save_plan(plan, p2)
+        assert open(p1).read() == open(p2).read()
+
+    def test_restored_plan_trains(self, tmp_path):
+        """A reloaded plan drives the trainer exactly like the original
+        (shard placement identity is what checkpoints rely on)."""
+        from repro import nn
+        from repro.comms import ClusterTopology
+        from repro.core import NeoTrainer
+        from repro.data import SyntheticCTRDataset
+        from repro.embedding import SparseSGD
+        from repro.models import DLRMConfig
+
+        tables = (EmbeddingTableConfig("t0", 32, 8, avg_pooling=3.0),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                            top_mlp=(8,))
+        plan = ShardingPlan(world_size=2)
+        plan.tables["t0"] = shard_table(tables[0],
+                                        ShardingScheme.ROW_WISE, [0, 1])
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        restored = load_plan(path)
+
+        ds = SyntheticCTRDataset(tables, dense_dim=4)
+        batch = ds.batch(8)
+        results = []
+        for p in (plan, restored):
+            trainer = NeoTrainer(
+                config, p, ClusterTopology(num_nodes=1, gpus_per_node=2),
+                dense_optimizer=lambda ps: nn.SGD(ps, lr=0.1),
+                sparse_optimizer=SparseSGD(lr=0.1), seed=0)
+            trainer.train_step(batch.split(2))
+            results.append(trainer.gather_table("t0"))
+        assert np.array_equal(results[0], results[1])
+
+
+class TestValidationOnLoad:
+    def test_bad_version_rejected(self):
+        data = plan_to_dict(make_plan())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_dict(data)
+
+    def test_corrupted_coverage_rejected(self):
+        data = plan_to_dict(make_plan())
+        name = next(iter(data["tables"]))
+        data["tables"][name]["shards"] = data["tables"][name]["shards"][:1]
+        tp = data["tables"][name]
+        if tp["scheme"] in ("row_wise", "column_wise") and \
+                len(tp["shards"]) >= 1:
+            with pytest.raises(ValueError):
+                plan_from_dict(data)
+
+    def test_rank_out_of_world_rejected(self):
+        data = plan_to_dict(make_plan())
+        data["world_size"] = 1
+        with pytest.raises(ValueError):
+            plan_from_dict(data)

@@ -1,0 +1,170 @@
+"""Tests for sharding schemes: shard generation and plan validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import EmbeddingTableConfig
+from repro.sharding import (Shard, ShardingPlan, ShardingScheme,
+                            TableShardingPlan, shard_table)
+
+
+def cfg(name="t", h=100, d=16):
+    return EmbeddingTableConfig(name, h, d)
+
+
+class TestShard:
+    def test_properties(self):
+        s = Shard("t", 0, (10, 30), (0, 8))
+        assert s.num_rows == 20 and s.num_cols == 8
+        assert s.num_parameters == 160
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Shard("t", 0, (5, 5), (0, 8))
+        with pytest.raises(ValueError):
+            Shard("t", 0, (-1, 5), (0, 8))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            Shard("t", -1, (0, 5), (0, 8))
+
+
+class TestShardTable:
+    def test_table_wise_single_shard(self):
+        plan = shard_table(cfg(), ShardingScheme.TABLE_WISE, [3])
+        assert len(plan.shards) == 1
+        s = plan.shards[0]
+        assert s.rank == 3
+        assert s.row_range == (0, 100) and s.col_range == (0, 16)
+
+    def test_row_wise_covers_all_rows(self):
+        plan = shard_table(cfg(h=100), ShardingScheme.ROW_WISE, [0, 1, 2])
+        rows = sorted(s.row_range for s in plan.shards)
+        assert rows[0][0] == 0 and rows[-1][1] == 100
+        # contiguous
+        for (a, b), (c, _) in zip(rows, rows[1:]):
+            assert b == c
+
+    def test_row_wise_remainder_distribution(self):
+        plan = shard_table(cfg(h=10), ShardingScheme.ROW_WISE, [0, 1, 2])
+        sizes = sorted(s.num_rows for s in plan.shards)
+        assert sizes == [3, 3, 4]
+
+    def test_column_wise_covers_all_cols(self):
+        plan = shard_table(cfg(d=16), ShardingScheme.COLUMN_WISE, [0, 1])
+        cols = sorted(s.col_range for s in plan.shards)
+        assert cols == [(0, 8), (8, 16)]
+
+    def test_data_parallel_replicates(self):
+        plan = shard_table(cfg(), ShardingScheme.DATA_PARALLEL, [0, 1, 2])
+        assert len(plan.shards) == 3
+        for s in plan.shards:
+            assert s.num_parameters == 100 * 16
+
+    def test_more_ranks_than_rows(self):
+        plan = shard_table(cfg(h=2), ShardingScheme.ROW_WISE, [0, 1, 2, 3])
+        assert len(plan.shards) == 2  # empty shards dropped
+
+    def test_empty_ranks_raise(self):
+        with pytest.raises(ValueError):
+            shard_table(cfg(), ShardingScheme.TABLE_WISE, [])
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50)
+    def test_row_wise_exact_coverage_property(self, h, n_ranks):
+        plan = shard_table(cfg(h=h), ShardingScheme.ROW_WISE,
+                           list(range(n_ranks)))
+        total = sum(s.num_rows for s in plan.shards)
+        assert total == h
+        # no overlaps: intervals sorted by start must be disjoint
+        intervals = sorted(s.row_range for s in plan.shards)
+        for (a, b), (c, d) in zip(intervals, intervals[1:]):
+            assert b <= c
+
+
+class TestValidation:
+    def test_gap_detected(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.ROW_WISE,
+            shards=[Shard("t", 0, (0, 5), (0, 4))])
+        with pytest.raises(ValueError, match="cover"):
+            plan.validate()
+
+    def test_duplicate_shard_detected(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.ROW_WISE,
+            shards=[Shard("t", 0, (0, 10), (0, 4)),
+                    Shard("t", 1, (0, 10), (0, 4))])
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.validate()
+
+    def test_overflow_detected(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.ROW_WISE,
+            shards=[Shard("t", 0, (0, 12), (0, 4))])
+        with pytest.raises(ValueError, match="exceeds"):
+            plan.validate()
+
+    def test_dp_partial_replica_detected(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.DATA_PARALLEL,
+            shards=[Shard("t", 0, (0, 5), (0, 4))])
+        with pytest.raises(ValueError, match="DP"):
+            plan.validate()
+
+    def test_dp_duplicate_rank_detected(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.DATA_PARALLEL,
+            shards=[Shard("t", 0, (0, 10), (0, 4)),
+                    Shard("t", 0, (0, 10), (0, 4))])
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.validate()
+
+    def test_row_wise_must_not_split_columns(self):
+        plan = TableShardingPlan(
+            config=cfg(h=10, d=4), scheme=ShardingScheme.ROW_WISE,
+            shards=[Shard("t", 0, (0, 10), (0, 2)),
+                    Shard("t", 1, (0, 10), (2, 4))])
+        with pytest.raises(ValueError, match="split cols"):
+            plan.validate()
+
+    def test_plan_rank_bound(self):
+        plan = ShardingPlan(world_size=2)
+        plan.tables["t"] = shard_table(cfg(), ShardingScheme.TABLE_WISE, [5])
+        with pytest.raises(ValueError, match="world"):
+            plan.validate()
+
+
+class TestShardingPlanQueries:
+    def make_plan(self):
+        plan = ShardingPlan(world_size=4)
+        plan.tables["a"] = shard_table(cfg("a"), ShardingScheme.TABLE_WISE,
+                                       [0])
+        plan.tables["b"] = shard_table(cfg("b", h=40),
+                                       ShardingScheme.ROW_WISE, [0, 1, 2, 3])
+        plan.tables["c"] = shard_table(cfg("c", h=8),
+                                       ShardingScheme.DATA_PARALLEL,
+                                       [0, 1, 2, 3])
+        return plan
+
+    def test_shards_on_rank(self):
+        plan = self.make_plan()
+        on_zero = plan.shards_on_rank(0)
+        assert {s.table for s in on_zero} == {"a", "b", "c"}
+        on_one = plan.shards_on_rank(1)
+        assert {s.table for s in on_one} == {"b", "c"}
+
+    def test_scheme_of(self):
+        plan = self.make_plan()
+        assert plan.scheme_of("a") == ShardingScheme.TABLE_WISE
+        assert plan.scheme_of("c") == ShardingScheme.DATA_PARALLEL
+
+    def test_memory_per_rank(self):
+        plan = self.make_plan()
+        mem = plan.memory_per_rank(bytes_per_element=4)
+        # rank 0: table a (1600) + b shard (10*16) + c replica (128)
+        assert mem[0] == (100 * 16 + 10 * 16 + 8 * 16) * 4
+        assert mem[1] == (10 * 16 + 8 * 16) * 4

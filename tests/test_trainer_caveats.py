@@ -1,0 +1,112 @@
+"""Documented caveats of scheme/optimizer combinations (paper Sec 4.2.3).
+
+"Since the rows of column-wise sharded tables are split across different
+trainers, using an independent row-wise update for these tables
+introduces additional parameters — one for each shard of the row instead
+of just a single value for the entire row."
+
+These tests pin that behaviour down: CW + RowWiseAdaGrad keeps one
+moment per (row, shard) and therefore deviates from the single-process
+per-row update, while element-wise optimizers are immune (their state
+splits cleanly along columns).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import ClusterTopology
+from repro.core import NeoTrainer
+from repro.data import SyntheticCTRDataset
+from repro.embedding import (EmbeddingTableConfig, RowWiseAdaGrad,
+                             SparseAdaGrad, SparseSGD)
+from repro.models import DLRM, DLRMConfig
+from repro.sharding import ShardingPlan, ShardingScheme, shard_table
+
+
+def make_parts(world=2, seed=0):
+    tables = (EmbeddingTableConfig("t0", 32, 8, avg_pooling=3.0),)
+    config = DLRMConfig(dense_dim=4, bottom_mlp=(8, 8), tables=tables,
+                        top_mlp=(8,))
+    plan = ShardingPlan(world_size=world)
+    plan.tables["t0"] = shard_table(tables[0], ShardingScheme.COLUMN_WISE,
+                                    list(range(world)))
+    ds = SyntheticCTRDataset(tables, dense_dim=4, seed=1)
+    return config, plan, ds
+
+
+def train_pair(sparse_opt_factory, steps=3, world=2):
+    config, plan, ds = make_parts(world=world)
+    batches = ds.batches(8, steps)
+
+    reference = DLRM(config, seed=0)
+    ref_opt = nn.SGD(reference.dense_parameters(), lr=0.1)
+    ref_sparse = sparse_opt_factory()
+    for b in batches:
+        reference.train_step(b, ref_opt, ref_sparse)
+
+    trainer = NeoTrainer(
+        config, plan, ClusterTopology(num_nodes=1, gpus_per_node=world),
+        dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+        sparse_optimizer=sparse_opt_factory(), seed=0)
+    for b in batches:
+        trainer.train_step(b.split(world))
+    return reference.embeddings.table("t0").weight, \
+        trainer.gather_table("t0")
+
+
+class TestColumnWiseRowWiseAdaGradCaveat:
+    def test_elementwise_adagrad_immune(self):
+        """Element-wise AdaGrad state splits cleanly along columns: CW
+        training matches the single-process reference."""
+        ref, dist = train_pair(lambda: SparseAdaGrad(lr=0.1))
+        np.testing.assert_allclose(dist, ref, rtol=1e-4, atol=1e-6)
+
+    def test_sgd_immune(self):
+        ref, dist = train_pair(lambda: SparseSGD(lr=0.1))
+        np.testing.assert_allclose(dist, ref, rtol=1e-4, atol=1e-6)
+
+    def test_rowwise_adagrad_deviates_per_shard(self):
+        """The Sec 4.2.3 caveat: per-shard row moments != per-row moment,
+        so CW + RowWiseAdaGrad deviates from the reference (and the paper
+        flags the extra optimizer parameters this introduces)."""
+        ref, dist = train_pair(lambda: RowWiseAdaGrad(lr=0.1))
+        assert not np.allclose(dist, ref, rtol=1e-4, atol=1e-6)
+
+    def test_rowwise_adagrad_cw_still_deterministic(self):
+        """Deviation from the reference is NOT nondeterminism: two CW
+        runs are bitwise identical."""
+        results = []
+        for _ in range(2):
+            _, dist = train_pair(lambda: RowWiseAdaGrad(lr=0.1))
+            results.append(dist)
+        assert np.array_equal(results[0], results[1])
+
+    def test_rowwise_adagrad_cw_extra_state(self):
+        """One moment vector per column shard: W times the state of the
+        unsharded table (the 'additional parameters' of Sec 4.2.3)."""
+        config, plan, ds = make_parts(world=2)
+        opt = RowWiseAdaGrad(lr=0.1)
+        trainer = NeoTrainer(
+            config, plan, ClusterTopology(num_nodes=1, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=opt, seed=0)
+        trainer.train_step(ds.batch(8, 0).split(2))
+        moment_vectors = [
+            state["moment"] for state in opt._state.values()
+            if "moment" in state]
+        assert len(moment_vectors) == 2  # one per column shard
+        total_state = sum(m.size for m in moment_vectors)
+        assert total_state == 2 * 32  # 2 shards x H rows
+
+    def test_rowwise_adagrad_cw_still_learns(self):
+        """The caveat is an accuracy nuance, not a correctness bug: the
+        combination still trains."""
+        config, plan, ds = make_parts(world=2)
+        trainer = NeoTrainer(
+            config, plan, ClusterTopology(num_nodes=1, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.Adam(p, lr=0.01),
+            sparse_optimizer=RowWiseAdaGrad(lr=0.1), seed=0)
+        losses = [trainer.train_step(ds.batch(32, i).split(2))
+                  for i in range(40)]
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
