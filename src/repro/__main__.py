@@ -1,19 +1,27 @@
-"""Self-check entry point: ``python -m repro``.
+"""Command-line entry points: ``python -m repro [subcommand]``.
 
-Prints the version, verifies the headline calibrations against the
-paper's measured anchors, and runs a two-second smoke train proving the
-distributed trainer matches the single-process reference on this
-machine. Exit code 0 means the installation is healthy.
+* ``python -m repro`` / ``python -m repro selfcheck`` — prints the
+  version, verifies the headline calibrations against the paper's
+  measured anchors, and runs a two-second smoke train proving the
+  distributed trainer matches the single-process reference on this
+  machine. Exit code 0 means the installation is healthy.
+* ``python -m repro trace`` — runs a few traced iterations of a shrunken
+  Table 3 model on the simulated multi-rank trainer, writes a Chrome
+  ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``) and
+  prints a run summary comparing measured phase shares against the
+  analytical Eq. 1 latency breakdown.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 import numpy as np
 
 
-def main() -> int:
+def selfcheck() -> int:
+    """Installation health check (the original ``python -m repro``)."""
     import repro
     from repro import nn
     from repro.comms import PROTOTYPE_TOPOLOGY, ClusterTopology
@@ -82,6 +90,91 @@ def main() -> int:
 
     print(f"\n{'ALL CHECKS PASSED' if not failures else 'FAILURES: ' + str(failures)}")
     return 0 if not failures else 1
+
+
+def trace_command(args: argparse.Namespace) -> int:
+    """Run a traced mini training run and emit trace JSON + summary."""
+    from repro import nn
+    from repro.comms import ClusterTopology
+    from repro.core import NeoTrainer
+    from repro.data import SyntheticCTRDataset
+    from repro.embedding import SparseAdaGrad
+    from repro.models import full_spec, mini_config
+    from repro.obs import MetricRegistry, Tracer, render_summary
+    from repro.perf import TrainingSetup, latency_breakdown
+    from repro.sharding import PlannerConfig
+
+    if args.ranks < 1 or args.iters < 1 or args.batch < 1:
+        print("error: --ranks, --iters and --batch must be positive",
+              file=sys.stderr)
+        return 2
+    if args.batch % args.ranks:
+        print(f"error: --batch {args.batch} must be divisible by "
+              f"--ranks {args.ranks}", file=sys.stderr)
+        return 2
+
+    config = mini_config(args.model)
+    topology = ClusterTopology(num_nodes=1, gpus_per_node=args.ranks)
+    tracer = Tracer(clock=args.clock)
+    registry = MetricRegistry()
+    trainer = NeoTrainer.from_planner(
+        config, topology,
+        dense_optimizer=lambda p: nn.SGD(p, lr=0.05),
+        sparse_optimizer=SparseAdaGrad(lr=0.05), seed=0,
+        planner_config=PlannerConfig(world_size=args.ranks,
+                                     ranks_per_node=args.ranks,
+                                     dp_threshold_rows=64),
+        trace=tracer, metrics=registry)
+    dataset = SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                                  seed=1)
+    for batch in dataset.batches(args.batch, args.iters):
+        trainer.train_step(batch.split(args.ranks))
+
+    trace = tracer.trace
+    trace.save(args.out)
+    print(f"wrote {len(trace.closed_events())} spans to {args.out} "
+          f"(open in Perfetto or chrome://tracing)\n")
+
+    # analytical Fig. 12 breakdown of the *full-scale* named model, for
+    # the measured-vs-model share comparison
+    setup = TrainingSetup(spec=full_spec(args.model), topology=topology,
+                          global_batch=1024 * args.ranks)
+    model_breakdown = latency_breakdown(setup)
+    print(render_summary(
+        trace, registry, model=model_breakdown,
+        title=f"Traced run: {args.model} mini, {args.ranks} ranks, "
+              f"{args.iters} iterations"))
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.models import MODEL_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Neo/ZionEX reproduction command line")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("selfcheck", help="verify the installation (default)")
+    trace_p = sub.add_parser(
+        "trace", help="run traced iterations, write Chrome trace JSON")
+    trace_p.add_argument("--model", default="A2", choices=MODEL_NAMES,
+                         help="Table 3 model whose mini config to train")
+    trace_p.add_argument("--ranks", type=int, default=4,
+                         help="simulated ranks (single node)")
+    trace_p.add_argument("--iters", type=int, default=3,
+                         help="training iterations to trace")
+    trace_p.add_argument("--batch", type=int, default=64,
+                         help="global batch size")
+    trace_p.add_argument("--clock", default="wall",
+                         choices=("wall", "logical"),
+                         help="span clock: wall seconds or logical ticks")
+    trace_p.add_argument("--out", default="trace.json",
+                         help="output path for the Chrome trace JSON")
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return trace_command(args)
+    return selfcheck()
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..embedding.table import EmbeddingTableConfig, SparseGradient
+from ..obs.tracer import as_tracer
 from .backing import ArrayBackingStore
 
 __all__ = ["MemoryTier", "MemoryHierarchy", "CachedEmbeddingTable",
@@ -108,11 +109,17 @@ class CachedEmbeddingTable:
     a :class:`SetAssociativeCache` (or any object with the same
     read/write/flush interface) in front of an :class:`ArrayBackingStore`.
     Used to validate cache coherence under training and to measure traffic.
+
+    Pass ``tracer=``/``registry=`` (or call :meth:`instrument`) to record
+    ``cache.lookup``/``cache.update`` spans and publish the cache's
+    hit/miss/eviction/writeback stats as ``cache.*`` counters after each
+    access. Instrumentation is read-only.
     """
 
     def __init__(self, config: EmbeddingTableConfig, cache,
                  rng: Optional[np.random.Generator] = None,
-                 weight: Optional[np.ndarray] = None) -> None:
+                 weight: Optional[np.ndarray] = None,
+                 tracer=None, registry=None) -> None:
         self.config = config
         rng = rng if rng is not None else np.random.default_rng(0)
         if weight is None:
@@ -123,6 +130,31 @@ class CachedEmbeddingTable:
         self.backing = ArrayBackingStore(np.asarray(weight, dtype=np.float32))
         self.cache = cache
         self._saved: Optional[tuple] = None
+        self.tracer = as_tracer(tracer)
+        self._scope = registry.scope("cache") if registry is not None else None
+        self._published = {}
+
+    def instrument(self, tracer=None, registry=None) -> None:
+        """Attach a tracer and/or metric registry after construction."""
+        if tracer is not None:
+            self.tracer = as_tracer(tracer)
+        if registry is not None:
+            self._scope = registry.scope("cache")
+            self._published = {}
+
+    def _sync_stats(self) -> None:
+        """Publish the cache's cumulative stats as counter deltas."""
+        if self._scope is None:
+            return
+        stats = getattr(self.cache, "stats", None)
+        if stats is None:
+            return
+        for field in ("hits", "misses", "evictions", "writebacks"):
+            value = int(getattr(stats, field, 0))
+            prev = self._published.get(field, 0)
+            if value > prev:
+                self._scope.counter(field, table=self.name).inc(value - prev)
+                self._published[field] = value
 
     @property
     def name(self) -> str:
@@ -134,8 +166,12 @@ class CachedEmbeddingTable:
         batch = len(offsets) - 1
         lengths = np.diff(offsets)
         bag_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
-        rows = self.cache.read(indices, self.backing) if len(indices) else \
-            np.zeros((0, self.config.embedding_dim), dtype=np.float32)
+        with self.tracer.span("cache.lookup", cat="cache", table=self.name,
+                              rows=int(len(indices))):
+            rows = self.cache.read(indices, self.backing) if len(indices) \
+                else np.zeros((0, self.config.embedding_dim),
+                              dtype=np.float32)
+        self._sync_stats()
         out = np.zeros((batch, self.config.embedding_dim), dtype=np.float32)
         if len(indices):
             np.add.at(out, bag_ids, rows)
@@ -161,8 +197,11 @@ class CachedEmbeddingTable:
         rows, merged = merge_duplicate_rows(grad.rows, grad.values)
         if len(rows) == 0:
             return
-        current = self.cache.read(rows, self.backing)
-        self.cache.write(rows, current - lr * merged, self.backing)
+        with self.tracer.span("cache.update", cat="cache", table=self.name,
+                              rows=int(len(rows))):
+            current = self.cache.read(rows, self.backing)
+            self.cache.write(rows, current - lr * merged, self.backing)
+        self._sync_stats()
 
     def checkpoint(self) -> np.ndarray:
         """Flush the cache and return the canonical table contents."""

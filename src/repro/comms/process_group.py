@@ -8,15 +8,40 @@ interface the paper extends (Section 4.5). It binds together
 * byte accounting per collective type, and
 * the alpha-beta latency model, accumulating a modeled communication time
   alongside the real computation.
+
+Accounting is published through a :class:`repro.obs.MetricRegistry`
+scope (``comms.calls`` / ``comms.wire_bytes`` / ``comms.modeled_seconds``,
+labelled by collective), and every collective runs inside a tracer span
+carrying its byte/latency attribution — so a traced run reports, per
+collective kind, exactly the traffic the legacy :class:`CommsLog`
+accessors aggregate.
+
+Byte-accounting conventions (audited for the sliced-gradient AlltoAll
+paths of column-wise sharding):
+
+* Float payloads are counted as ``elements x wire precision`` — the
+  quantization codec determines bytes, not the host dtype. An AlltoAll
+  whose per-destination slices are uneven (e.g. uneven column splits)
+  counts exactly ``sum(slice sizes)``; for a column-wise table that is
+  ``sum(shard_cols) * batch`` elements per iteration, however the columns
+  were cut.
+* Index payloads (the ``direction="index"`` AlltoAll) are counted from
+  the arrays' real ``nbytes`` — ids are int64 today, but the accounting
+  no longer hard-codes 8 bytes/element, so int32 ids would be billed
+  correctly too.
+* Self-sends (rank r -> rank r) are included, matching the analytical
+  model in :mod:`repro.comms.perf_model` and the paper's Fig. 20
+  convention of quoting full AlltoAll volume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs.metrics import MetricRegistry, MetricScope
+from ..obs.tracer import NULL_TRACER, as_tracer
 from . import collectives, perf_model
 from .quantization import QuantizedCommsConfig, wire_bytes
 from .topology import ClusterTopology
@@ -24,19 +49,43 @@ from .topology import ClusterTopology
 __all__ = ["CommsLog", "SimProcessGroup"]
 
 
-@dataclass
 class CommsLog:
-    """Accumulated traffic and modeled time, by collective."""
+    """Per-collective traffic and modeled time, backed by a metric scope.
 
-    calls: Dict[str, int] = field(default_factory=dict)
-    wire_bytes: Dict[str, int] = field(default_factory=dict)
-    modeled_seconds: Dict[str, float] = field(default_factory=dict)
+    The historical interface (``calls`` / ``wire_bytes`` /
+    ``modeled_seconds`` dicts keyed by collective name, ``total_bytes``,
+    ``total_seconds``) is preserved as views over registry counters, so
+    existing callers and the new observability layer read the same
+    numbers by construction.
+    """
 
-    def record(self, name: str, bytes_on_wire: int, seconds: float) -> None:
-        self.calls[name] = self.calls.get(name, 0) + 1
-        self.wire_bytes[name] = self.wire_bytes.get(name, 0) + bytes_on_wire
-        self.modeled_seconds[name] = (
-            self.modeled_seconds.get(name, 0.0) + seconds)
+    def __init__(self, scope: Optional[MetricScope] = None) -> None:
+        self._scope = scope if scope is not None \
+            else MetricRegistry().scope("comms")
+
+    @property
+    def scope(self) -> MetricScope:
+        return self._scope
+
+    def record(self, name: str, bytes_on_wire: float,
+               seconds: float) -> None:
+        self._scope.counter("calls", collective=name).inc(1)
+        self._scope.counter("wire_bytes",
+                            collective=name).inc(int(bytes_on_wire))
+        self._scope.counter("modeled_seconds",
+                            collective=name).inc(float(seconds))
+
+    @property
+    def calls(self) -> Dict[str, int]:
+        return self._scope.by_label("calls", "collective")
+
+    @property
+    def wire_bytes(self) -> Dict[str, int]:
+        return self._scope.by_label("wire_bytes", "collective")
+
+    @property
+    def modeled_seconds(self) -> Dict[str, float]:
+        return self._scope.by_label("modeled_seconds", "collective")
 
     @property
     def total_bytes(self) -> int:
@@ -46,19 +95,35 @@ class CommsLog:
     def total_seconds(self) -> float:
         return sum(self.modeled_seconds.values())
 
+    def reset(self) -> None:
+        self._scope.reset()
+
 
 class SimProcessGroup:
     """All-rank collectives with accounting, for the lock-step trainer."""
 
     def __init__(self, topology: ClusterTopology,
-                 comms_config: Optional[QuantizedCommsConfig] = None) -> None:
+                 comms_config: Optional[QuantizedCommsConfig] = None,
+                 registry: Optional[MetricRegistry] = None,
+                 tracer=None) -> None:
         self.topology = topology
         self.comms_config = comms_config or QuantizedCommsConfig()
-        self.log = CommsLog()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = as_tracer(tracer)
+        self.log = CommsLog(self.registry.scope("comms"))
 
     @property
     def world_size(self) -> int:
         return self.topology.world_size
+
+    def instrument(self, tracer=None,
+                   registry: Optional[MetricRegistry] = None) -> None:
+        """Swap in a tracer and/or registry after construction."""
+        if tracer is not None:
+            self.tracer = as_tracer(tracer)
+        if registry is not None:
+            self.registry = registry
+            self.log = CommsLog(registry.scope("comms"))
 
     def _check_world(self, inputs: list, name: str) -> None:
         if len(inputs) != self.world_size:
@@ -66,15 +131,22 @@ class SimProcessGroup:
                 f"{name} expects one input per rank "
                 f"({self.world_size}), got {len(inputs)}")
 
+    def _record(self, name: str, total_wire: float, seconds: float) -> None:
+        self.log.record(name, total_wire, seconds)
+
     # ------------------------------------------------------------------
     def all_reduce(self, inputs: List[np.ndarray]) -> List[np.ndarray]:
         self._check_world(inputs, "all_reduce")
         precision = self.comms_config.allreduce
-        out = collectives.all_reduce(
-            inputs, codec=self.comms_config.allreduce_codec())
         per_gpu = wire_bytes(int(inputs[0].size), precision)
         seconds = perf_model.allreduce_time(per_gpu, self.topology)
-        self.log.record("all_reduce", per_gpu * self.world_size, seconds)
+        total_wire = per_gpu * self.world_size
+        with self.tracer.span("comms.all_reduce", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = collectives.all_reduce(
+                inputs, codec=self.comms_config.allreduce_codec())
+        self._record("all_reduce", total_wire, seconds)
         return out
 
     def all_to_all(self, inputs: List[List[np.ndarray]],
@@ -90,48 +162,67 @@ class SimProcessGroup:
         elif direction == "index":
             # index redistribution is integer data: never quantized
             codec = None
-            precision = "fp32"  # ids are 8B but sizes are counted directly
+            precision = None
         else:
             raise ValueError(f"unknown direction {direction!r}")
-        out = collectives.all_to_all(inputs, codec=codec)
         if direction == "index":
-            total_elems = sum(int(np.asarray(x).size) for row in inputs
-                              for x in row)
-            total_wire = total_elems * 8
+            # integer payloads are billed at their true width (ids are
+            # int64 today; nbytes keeps this honest if that ever changes)
+            total_wire = sum(int(np.asarray(x).nbytes) for row in inputs
+                             for x in row)
         else:
+            # float payloads are billed at the wire precision, summed
+            # over every (src, dst) slice — exact under uneven splits
             total_elems = sum(int(np.asarray(x).size) for row in inputs
                               for x in row)
             total_wire = wire_bytes(total_elems, precision)
         per_gpu = total_wire / max(self.world_size, 1)
         seconds = perf_model.alltoall_time(per_gpu, self.topology)
-        self.log.record(f"all_to_all/{direction}", total_wire, seconds)
+        name = f"all_to_all/{direction}"
+        with self.tracer.span(f"comms.{name}", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = collectives.all_to_all(inputs, codec=codec)
+        self._record(name, total_wire, seconds)
         return out
 
     def reduce_scatter(self, inputs: List[List[np.ndarray]]
                        ) -> List[np.ndarray]:
         self._check_world(inputs, "reduce_scatter")
-        out = collectives.reduce_scatter(inputs)
         per_gpu = sum(int(np.asarray(x).size) for x in inputs[0]) * 4
         seconds = perf_model.reduce_scatter_time(per_gpu, self.topology)
-        self.log.record("reduce_scatter", per_gpu * self.world_size, seconds)
+        total_wire = per_gpu * self.world_size
+        with self.tracer.span("comms.reduce_scatter", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = collectives.reduce_scatter(inputs)
+        self._record("reduce_scatter", total_wire, seconds)
         return out
 
     def all_gather(self, inputs: List[np.ndarray]) -> List[List[np.ndarray]]:
         self._check_world(inputs, "all_gather")
-        out = collectives.all_gather(inputs)
         per_gpu = int(np.asarray(inputs[0]).size) * 4
         seconds = perf_model.allgather_time(per_gpu, self.topology)
-        self.log.record("all_gather", per_gpu * self.world_size, seconds)
+        total_wire = per_gpu * self.world_size
+        with self.tracer.span("comms.all_gather", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = collectives.all_gather(inputs)
+        self._record("all_gather", total_wire, seconds)
         return out
 
     def broadcast(self, inputs: List[np.ndarray],
                   root: int = 0) -> List[np.ndarray]:
         self._check_world(inputs, "broadcast")
-        out = collectives.broadcast(inputs, root=root)
         per_gpu = int(np.asarray(inputs[root]).size) * 4
         seconds = perf_model.allgather_time(per_gpu, self.topology)
-        self.log.record("broadcast", per_gpu * self.world_size, seconds)
+        total_wire = per_gpu * self.world_size
+        with self.tracer.span("comms.broadcast", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = collectives.broadcast(inputs, root=root)
+        self._record("broadcast", total_wire, seconds)
         return out
 
     def reset_log(self) -> None:
-        self.log = CommsLog()
+        self.log.reset()

@@ -101,26 +101,32 @@ class TrainingLoop:
         result = TrainingResult()
         best = float("inf")
         since_best = 0
+        tracer = self.trainer.tracer
         for step in range(num_steps):
-            shards = self.ingestion.next_batch()
-            result.losses.append(self.trainer.train_step(shards))
-            for scheduler in self.lr_schedulers:
-                scheduler.step()
-            if (step + 1) % self.eval_every == 0:
-                ne = self.evaluate(batch_index=step)
-                result.eval_steps.append(step + 1)
-                result.eval_ne.append(ne)
-                if ne < best - 1e-6:
-                    best = ne
-                    since_best = 0
-                else:
-                    since_best += 1
-                if self.patience is not None and since_best >= self.patience:
-                    result.stopped_early = True
-                    break
-            if self.checkpoint_manager is not None and \
-                    self.checkpoint_every and \
-                    (step + 1) % self.checkpoint_every == 0:
-                result.checkpoints.append(
-                    self.checkpoint_manager.save(self.trainer))
+            with tracer.span("loop.iteration", cat="loop", step=step):
+                with tracer.span("loop.ingest", cat="loop"):
+                    shards = self.ingestion.next_batch()
+                result.losses.append(self.trainer.train_step(shards))
+                for scheduler in self.lr_schedulers:
+                    scheduler.step()
+                if (step + 1) % self.eval_every == 0:
+                    with tracer.span("loop.eval", cat="loop"):
+                        ne = self.evaluate(batch_index=step)
+                    result.eval_steps.append(step + 1)
+                    result.eval_ne.append(ne)
+                    if ne < best - 1e-6:
+                        best = ne
+                        since_best = 0
+                    else:
+                        since_best += 1
+                    if self.patience is not None and \
+                            since_best >= self.patience:
+                        result.stopped_early = True
+                        break
+                if self.checkpoint_manager is not None and \
+                        self.checkpoint_every and \
+                        (step + 1) % self.checkpoint_every == 0:
+                    with tracer.span("loop.checkpoint", cat="loop"):
+                        result.checkpoints.append(
+                            self.checkpoint_manager.save(self.trainer))
         return result

@@ -89,6 +89,17 @@ class LatencyBreakdown:
         return sum(v for k, v in self.exposed.items()
                    if "alltoall" in k or "allreduce" in k)
 
+    def serialized_shares(self) -> Dict[str, float]:
+        """Each serialized component as a fraction of their sum.
+
+        The normalized Fig. 12 view; also what
+        :func:`repro.obs.compare_to_model` diffs measured traces against.
+        """
+        total = sum(self.serialized.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.serialized}
+        return {k: v / total for k, v in self.serialized.items()}
+
 
 def iteration_latency(t: ComponentTimes) -> float:
     """Eq. 1 verbatim.

@@ -45,6 +45,8 @@ from ..embedding import (EmbeddingTable, EmbeddingTableConfig,
                          SparseGradient, SparseOptimizer)
 from ..embedding.table import lengths_to_offsets, offsets_to_lengths
 from ..models.dlrm import DLRM, DLRMConfig
+from ..obs.metrics import MetricRegistry
+from ..obs.tracer import as_tracer
 from ..sharding import Shard, ShardingPlan, ShardingScheme
 
 __all__ = ["NeoTrainer"]
@@ -84,7 +86,8 @@ class NeoTrainer:
                                            nn.Optimizer],
                  sparse_optimizer: SparseOptimizer,
                  comms_config: Optional[QuantizedCommsConfig] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, trace=None,
+                 metrics: Optional[MetricRegistry] = None) -> None:
         if plan.world_size != topology.world_size:
             raise ValueError(
                 f"plan world size {plan.world_size} != topology world size "
@@ -102,7 +105,12 @@ class NeoTrainer:
                     f"(table {t.name} uses {t.pooling_mode})")
         self.config = config
         self.plan = plan
-        self.pg = SimProcessGroup(topology, comms_config)
+        # observability: off by default (no-op tracer); `trace` accepts a
+        # Tracer, True (wall clock) or a clock name ("wall"/"logical")
+        self.tracer = as_tracer(trace)
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.pg = SimProcessGroup(topology, comms_config,
+                                  registry=self.metrics, tracer=self.tracer)
         self.world_size = plan.world_size
         self.sparse_opt = sparse_optimizer
         self.steps = 0
@@ -145,7 +153,9 @@ class NeoTrainer:
                      comms_config: Optional[QuantizedCommsConfig] = None,
                      seed: int = 0,
                      planner_config=None,
-                     device_memory_bytes: Optional[float] = None
+                     device_memory_bytes: Optional[float] = None,
+                     trace=None,
+                     metrics: Optional[MetricRegistry] = None
                      ) -> "NeoTrainer":
         """Build a trainer with an automatically planned, memory-validated
         sharding plan — the one-call production entry point."""
@@ -161,11 +171,17 @@ class NeoTrainer:
         if device_memory_bytes is not None:
             validate_plan_memory(plan, device_memory_bytes)
         return cls(config, plan, topology, dense_optimizer,
-                   sparse_optimizer, comms_config=comms_config, seed=seed)
+                   sparse_optimizer, comms_config=comms_config, seed=seed,
+                   trace=trace, metrics=metrics)
 
     def _build_shards(self, config: DLRMConfig, plan: ShardingPlan,
                       golden: DLRM) -> None:
         self._shard_tables: Dict[Shard, EmbeddingTable] = {}
+        # per-shard metric counters, created once so the hot path only
+        # pays a cached-attribute increment
+        emb_metrics = self.metrics.scope("embedding")
+        self._lookup_counters: Dict[Shard, object] = {}
+        self._update_counters: Dict[Shard, object] = {}
         for t in config.tables:
             weight = golden.embeddings.table(t.name).weight
             for shard in plan.tables[t.name].shards:
@@ -177,6 +193,38 @@ class NeoTrainer:
                     avg_pooling=t.avg_pooling, pooling_mode=t.pooling_mode)
                 self._shard_tables[shard] = EmbeddingTable(
                     shard_cfg, weight=weight[r0:r1, c0:c1])
+                self._lookup_counters[shard] = emb_metrics.counter(
+                    "lookup_rows", table=t.name)
+                self._update_counters[shard] = emb_metrics.counter(
+                    "update_rows", table=t.name)
+
+    # ------------------------------------------------------------------
+    # instrumented shard access
+    # ------------------------------------------------------------------
+    def _shard_forward(self, shard: Shard, ids: np.ndarray,
+                       offsets: np.ndarray) -> np.ndarray:
+        """Pooled lookup on one shard, under an ``embedding_lookup`` span."""
+        with self.tracer.span("trainer.embedding_lookup", cat="embedding",
+                              table=shard.table, rank=shard.rank,
+                              rows=int(len(ids))):
+            out = self._shard_tables[shard].forward(ids, offsets)
+        self._lookup_counters[shard].inc(int(len(ids)))
+        return out
+
+    def _shard_update(self, shard: Shard, d_global: np.ndarray) -> None:
+        """Shard backward + exact sparse update, under an
+        ``embedding_update`` span."""
+        with self.tracer.span("trainer.embedding_update", cat="embedding",
+                              table=shard.table, rank=shard.rank):
+            grad = self._shard_tables[shard].backward(d_global)
+            self.sparse_opt.step(self._shard_tables[shard], grad)
+        self._update_counters[shard].inc(int(len(grad.rows)))
+
+    def _apply_sparse(self, shard: Shard, sparse: SparseGradient) -> None:
+        with self.tracer.span("trainer.embedding_update", cat="embedding",
+                              table=shard.table, rank=shard.rank):
+            self.sparse_opt.step(self._shard_tables[shard], sparse)
+        self._update_counters[shard].inc(int(len(sparse.rows)))
 
     # ------------------------------------------------------------------
     # embedding forward/backward, per scheme
@@ -208,7 +256,7 @@ class NeoTrainer:
         arrived_lengths = self.pg.all_to_all(lengths, direction="index")
         ids, offsets = self._global_jagged(
             list(zip(arrived[owner], arrived_lengths[owner])))
-        pooled_global = self._shard_tables[shard].forward(ids, offsets)
+        pooled_global = self._shard_forward(shard, ids, offsets)
         # pooled AlltoAll: owner scatters each rank's sub-batch
         d = pooled_global.shape[1]
         out_payload = [[pooled_global[dst * local_batch:(dst + 1)
@@ -230,8 +278,7 @@ class NeoTrainer:
                     for dst in range(w)] for src in range(w)]
         arrived = self.pg.all_to_all(payload, direction="backward_alltoall")
         d_global = np.concatenate(arrived[owner], axis=0).astype(np.float32)
-        grad = self._shard_tables[shard].backward(d_global)
-        self.sparse_opt.step(self._shard_tables[shard], grad)
+        self._shard_update(shard, d_global)
 
     def _forward_column_wise(self, table: EmbeddingTableConfig,
                              shards: List[Shard],
@@ -254,8 +301,7 @@ class NeoTrainer:
             ids, offsets = self._global_jagged(
                 list(zip(arrived[shard.rank],
                          arrived_lengths[shard.rank])))
-            pooled_slices[shard] = self._shard_tables[shard].forward(
-                ids, offsets)
+            pooled_slices[shard] = self._shard_forward(shard, ids, offsets)
         # pooled AlltoAll per shard (two shards may share an owner rank),
         # then concatenate slices by column order
         ordered = sorted(shards, key=lambda s: s.col_range)
@@ -287,8 +333,7 @@ class NeoTrainer:
                                          direction="backward_alltoall")
             d_global = np.concatenate(arrived[shard.rank],
                                       axis=0).astype(np.float32)
-            grad = self._shard_tables[shard].backward(d_global)
-            self.sparse_opt.step(self._shard_tables[shard], grad)
+            self._shard_update(shard, d_global)
 
     def _forward_row_wise(self, table: EmbeddingTableConfig,
                           shards: List[Shard],
@@ -321,8 +366,7 @@ class NeoTrainer:
             ids, offsets = self._global_jagged(
                 list(zip(arrived_ids[shard.rank],
                          arrived_lengths[shard.rank])))
-            partials[shard.rank] = self._shard_tables[shard].forward(
-                ids, offsets)
+            partials[shard.rank] = self._shard_forward(shard, ids, offsets)
         # ReduceScatter: sum partials, deliver each rank its sub-batch
         chunked = [[p[r * local_batch:(r + 1) * local_batch]
                     for r in range(w)] for p in partials]
@@ -335,8 +379,7 @@ class NeoTrainer:
         for shard in shards:
             d_global = np.concatenate(gathered[shard.rank],
                                       axis=0).astype(np.float32)
-            grad = self._shard_tables[shard].backward(d_global)
-            self.sparse_opt.step(self._shard_tables[shard], grad)
+            self._shard_update(shard, d_global)
 
     def _forward_data_parallel(self, shards: List[Shard],
                                local_inputs: List[Tuple[np.ndarray,
@@ -346,7 +389,7 @@ class NeoTrainer:
         out = []
         for r in range(self.world_size):
             ids, offsets = local_inputs[r]
-            out.append(self._shard_tables[by_rank[r]].forward(ids, offsets))
+            out.append(self._shard_forward(by_rank[r], ids, offsets))
         return out
 
     def _backward_data_parallel(self, shards: List[Shard],
@@ -363,7 +406,7 @@ class NeoTrainer:
             sparse = SparseGradient(rows=rows.astype(np.int64),
                                     values=avg[rows],
                                     num_embeddings=avg.shape[0])
-            self.sparse_opt.step(self._shard_tables[by_rank[r]], sparse)
+            self._apply_sparse(by_rank[r], sparse)
 
     # ------------------------------------------------------------------
     # the training step
@@ -374,6 +417,11 @@ class NeoTrainer:
         Returns the global mean loss. All ranks advance together; the
         update is mathematically the single-process update on the
         concatenated global batch.
+
+        When tracing is enabled (``trace=`` at construction) each phase
+        runs under a span (``trainer.bottom_mlp_fwd`` ... ``trainer.
+        optimizer``) with collective spans nested inside; the compute is
+        byte-for-byte identical either way — instrumentation only reads.
         """
         w = self.world_size
         if len(local_batches) != w:
@@ -383,97 +431,129 @@ class NeoTrainer:
         if len(sizes) != 1:
             raise ValueError(f"local batches must be equal size, got {sizes}")
         local_batch = sizes.pop()
+        tr = self.tracer
 
-        # forward: bottom MLP (data parallel)
-        dense_out = [self.ranks[r].bottom.forward(local_batches[r].dense)
-                     for r in range(w)]
+        with tr.span("trainer.iteration", cat="trainer", step=self.steps,
+                     local_batch=local_batch):
+            # forward: bottom MLP (data parallel)
+            with tr.span("trainer.bottom_mlp_fwd", cat="trainer"):
+                dense_out = [
+                    self.ranks[r].bottom.forward(local_batches[r].dense)
+                    for r in range(w)]
 
-        # forward: embeddings per table, per scheme
-        pooled: Dict[str, List[np.ndarray]] = {}
-        for t in self.config.tables:
-            table_plan = self.plan.tables[t.name]
-            inputs = [local_batches[r].sparse[t.name] for r in range(w)]
-            scheme = table_plan.scheme
-            if scheme == ShardingScheme.TABLE_WISE:
-                pooled[t.name] = self._forward_table_wise(
-                    t, table_plan.shards[0], inputs, local_batch)
-            elif scheme == ShardingScheme.COLUMN_WISE:
-                pooled[t.name] = self._forward_column_wise(
-                    t, table_plan.shards, inputs, local_batch)
-            elif scheme in (ShardingScheme.ROW_WISE,
-                            ShardingScheme.TABLE_ROW_WISE):
-                pooled[t.name] = self._forward_row_wise(
-                    t, table_plan.shards, inputs, local_batch)
-            else:  # DATA_PARALLEL
-                pooled[t.name] = self._forward_data_parallel(
-                    table_plan.shards, inputs)
+            # forward: embeddings per table, per scheme
+            pooled: Dict[str, List[np.ndarray]] = {}
+            with tr.span("trainer.embedding_fwd", cat="trainer"):
+                for t in self.config.tables:
+                    table_plan = self.plan.tables[t.name]
+                    inputs = [local_batches[r].sparse[t.name]
+                              for r in range(w)]
+                    scheme = table_plan.scheme
+                    with tr.span("trainer.table_fwd", cat="trainer",
+                                 table=t.name, scheme=scheme.value):
+                        if scheme == ShardingScheme.TABLE_WISE:
+                            pooled[t.name] = self._forward_table_wise(
+                                t, table_plan.shards[0], inputs, local_batch)
+                        elif scheme == ShardingScheme.COLUMN_WISE:
+                            pooled[t.name] = self._forward_column_wise(
+                                t, table_plan.shards, inputs, local_batch)
+                        elif scheme in (ShardingScheme.ROW_WISE,
+                                        ShardingScheme.TABLE_ROW_WISE):
+                            pooled[t.name] = self._forward_row_wise(
+                                t, table_plan.shards, inputs, local_batch)
+                        else:  # DATA_PARALLEL
+                            pooled[t.name] = self._forward_data_parallel(
+                                table_plan.shards, inputs)
 
-        # forward: per-feature projections + interaction + top MLP + loss
-        # (all data parallel)
-        losses = []
-        for r in range(w):
-            state = self.ranks[r]
-            features = [dense_out[r]]
-            for t in self.config.tables:
-                value = pooled[t.name][r]
-                if t.name in state.projections:
-                    value = state.projections[t.name].forward(value)
-                features.append(value)
-            interacted = state.interaction.forward_list(features)
-            logits = state.top.forward(interacted)[:, 0]
-            losses.append(state.loss_fn.forward(logits,
-                                                local_batches[r].labels))
+            # forward: per-feature projections + interaction (data parallel)
+            with tr.span("trainer.interaction_fwd", cat="trainer"):
+                interacted = []
+                for r in range(w):
+                    state = self.ranks[r]
+                    features = [dense_out[r]]
+                    for t in self.config.tables:
+                        value = pooled[t.name][r]
+                        if t.name in state.projections:
+                            value = state.projections[t.name].forward(value)
+                        features.append(value)
+                    interacted.append(
+                        state.interaction.forward_list(features))
 
-        # backward: top MLP + interaction (data parallel)
-        d_pooled: Dict[str, List[np.ndarray]] = {
-            t.name: [] for t in self.config.tables}
-        for r in range(w):
-            state = self.ranks[r]
-            for p in state.dense_parameters():
-                p.zero_grad()
-            d_logits = state.loss_fn.backward()[:, None]
-            d_inter = state.top.backward(d_logits)
-            d_features = state.interaction.backward_list(d_inter)
-            state.bottom.backward(d_features[0])
-            for i, t in enumerate(self.config.tables):
-                grad = d_features[1 + i]
-                if t.name in state.projections:
-                    grad = state.projections[t.name].backward(grad)
-                d_pooled[t.name].append(grad)
+            # forward: top MLP + loss (data parallel)
+            with tr.span("trainer.top_mlp_fwd", cat="trainer"):
+                losses = []
+                for r in range(w):
+                    state = self.ranks[r]
+                    logits = state.top.forward(interacted[r])[:, 0]
+                    losses.append(state.loss_fn.forward(
+                        logits, local_batches[r].labels))
 
-        # backward: embeddings per table (exact sparse updates)
-        for t in self.config.tables:
-            table_plan = self.plan.tables[t.name]
-            scheme = table_plan.scheme
-            if scheme == ShardingScheme.TABLE_WISE:
-                self._backward_table_wise(table_plan.shards[0],
-                                          d_pooled[t.name])
-            elif scheme == ShardingScheme.COLUMN_WISE:
-                self._backward_column_wise(table_plan.shards,
-                                           d_pooled[t.name])
-            elif scheme in (ShardingScheme.ROW_WISE,
-                            ShardingScheme.TABLE_ROW_WISE):
-                self._backward_row_wise(table_plan.shards, d_pooled[t.name])
-            else:
-                self._backward_data_parallel(table_plan.shards,
-                                             d_pooled[t.name])
+            # backward: top MLP + interaction + bottom MLP (data parallel)
+            d_pooled: Dict[str, List[np.ndarray]] = {
+                t.name: [] for t in self.config.tables}
+            with tr.span("trainer.dense_bwd", cat="trainer"):
+                for r in range(w):
+                    state = self.ranks[r]
+                    for p in state.dense_parameters():
+                        p.zero_grad()
+                    d_logits = state.loss_fn.backward()[:, None]
+                    d_inter = state.top.backward(d_logits)
+                    d_features = state.interaction.backward_list(d_inter)
+                    state.bottom.backward(d_features[0])
+                    for i, t in enumerate(self.config.tables):
+                        grad = d_features[1 + i]
+                        if t.name in state.projections:
+                            grad = state.projections[t.name].backward(grad)
+                        d_pooled[t.name].append(grad)
 
-        # gradient sync + dense optimizer (DDP semantics, bucketed —
-        # one AllReduce per ~25 MB bucket, not per parameter)
-        flat_per_rank = [
-            self._bucketer.flatten([p.grad for p in
-                                    self.ranks[r].dense_parameters()])
-            for r in range(w)]
-        for b in range(self._bucketer.num_buckets):
-            reduced = self.pg.all_reduce([flat_per_rank[r][b]
-                                          for r in range(w)])
-            for r in range(w):
-                flat_per_rank[r][b] = reduced[r]
-        for r in range(w):
-            grads = self._bucketer.unflatten(flat_per_rank[r])
-            for p, g in zip(self.ranks[r].dense_parameters(), grads):
-                p.grad = (g / w).astype(np.float32)
-            self.ranks[r].dense_opt.step()
+            # backward: embeddings per table (exact sparse updates)
+            with tr.span("trainer.embedding_bwd", cat="trainer"):
+                for t in self.config.tables:
+                    table_plan = self.plan.tables[t.name]
+                    scheme = table_plan.scheme
+                    with tr.span("trainer.table_bwd", cat="trainer",
+                                 table=t.name, scheme=scheme.value):
+                        if scheme == ShardingScheme.TABLE_WISE:
+                            self._backward_table_wise(table_plan.shards[0],
+                                                      d_pooled[t.name])
+                        elif scheme == ShardingScheme.COLUMN_WISE:
+                            self._backward_column_wise(table_plan.shards,
+                                                       d_pooled[t.name])
+                        elif scheme in (ShardingScheme.ROW_WISE,
+                                        ShardingScheme.TABLE_ROW_WISE):
+                            self._backward_row_wise(table_plan.shards,
+                                                    d_pooled[t.name])
+                        else:
+                            self._backward_data_parallel(table_plan.shards,
+                                                         d_pooled[t.name])
+
+            # gradient sync (DDP semantics, bucketed — one AllReduce per
+            # ~25 MB bucket, not per parameter)
+            with tr.span("trainer.allreduce", cat="trainer"):
+                flat_per_rank = [
+                    self._bucketer.flatten([p.grad for p in
+                                            self.ranks[r].dense_parameters()])
+                    for r in range(w)]
+                for b in range(self._bucketer.num_buckets):
+                    reduced = self.pg.all_reduce([flat_per_rank[r][b]
+                                                  for r in range(w)])
+                    for r in range(w):
+                        flat_per_rank[r][b] = reduced[r]
+
+            # dense optimizer step
+            with tr.span("trainer.optimizer", cat="trainer"):
+                for r in range(w):
+                    grads = self._bucketer.unflatten(flat_per_rank[r])
+                    for p, g in zip(self.ranks[r].dense_parameters(), grads):
+                        p.grad = (g / w).astype(np.float32)
+                    self.ranks[r].dense_opt.step()
+                if tr.enabled:
+                    # read-only instrumentation: global dense grad norm
+                    # (identical on every rank after the AllReduce)
+                    norm = float(np.sqrt(sum(
+                        float(np.sum(p.grad.astype(np.float64) ** 2))
+                        for p in self.ranks[0].dense_parameters())))
+                    self.metrics.histogram("trainer.grad_norm").record(norm)
         self.steps += 1
         return float(np.mean(losses))
 

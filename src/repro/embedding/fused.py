@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import as_tracer
 from .optim import SparseOptimizer
 from .table import EmbeddingTable, EmbeddingTableConfig, SparseGradient
 
@@ -30,9 +31,16 @@ __all__ = ["FusedEmbeddingCollection"]
 
 
 class FusedEmbeddingCollection:
-    """A set of embedding tables updated and queried as one fused operator."""
+    """A set of embedding tables updated and queried as one fused operator.
 
-    def __init__(self, tables: Sequence[EmbeddingTable]) -> None:
+    Optionally instrumented: pass ``tracer=``/``registry=`` (or call
+    :meth:`instrument`) to record ``embedding.fused_*`` spans and
+    per-table ``embedding.lookup_rows`` counters. Instrumentation is
+    read-only; the numerics are identical with it on or off.
+    """
+
+    def __init__(self, tables: Sequence[EmbeddingTable], tracer=None,
+                 registry=None) -> None:
         if not tables:
             raise ValueError("need at least one table")
         names = [t.name for t in tables]
@@ -42,6 +50,20 @@ class FusedEmbeddingCollection:
         self._by_name = {t.name: t for t in tables}
         self.kernel_launches = 0  # one per fused forward/backward call
         self._pending_grads: Dict[str, SparseGradient] = {}
+        self.tracer = as_tracer(tracer)
+        self._scope = registry.scope("embedding") \
+            if registry is not None else None
+
+    def instrument(self, tracer=None, registry=None) -> None:
+        """Attach a tracer and/or metric registry after construction."""
+        if tracer is not None:
+            self.tracer = as_tracer(tracer)
+        if registry is not None:
+            self._scope = registry.scope("embedding")
+
+    def _count(self, name: str, table: str, rows: int) -> None:
+        if self._scope is not None:
+            self._scope.counter(name, table=table).inc(rows)
 
     @classmethod
     def from_configs(cls, configs: Sequence[EmbeddingTableConfig],
@@ -73,9 +95,12 @@ class FusedEmbeddingCollection:
             raise KeyError(f"batch missing inputs for tables {sorted(missing)}")
         self.kernel_launches += 1
         out = {}
-        for t in self.tables:
-            indices, offsets = batch[t.name]
-            out[t.name] = t.forward(indices, offsets)
+        with self.tracer.span("embedding.fused_fwd", cat="embedding",
+                              tables=len(self.tables)):
+            for t in self.tables:
+                indices, offsets = batch[t.name]
+                out[t.name] = t.forward(indices, offsets)
+                self._count("lookup_rows", t.name, int(len(indices)))
         return out
 
     def backward(self, d_pooled: Dict[str, np.ndarray]
@@ -83,8 +108,10 @@ class FusedEmbeddingCollection:
         """Unfused backward: returns per-table sparse gradients."""
         self.kernel_launches += 1
         grads = {}
-        for t in self.tables:
-            grads[t.name] = t.backward(d_pooled[t.name])
+        with self.tracer.span("embedding.fused_bwd", cat="embedding",
+                              tables=len(self.tables)):
+            for t in self.tables:
+                grads[t.name] = t.backward(d_pooled[t.name])
         self._pending_grads = grads
         return grads
 
@@ -96,9 +123,12 @@ class FusedEmbeddingCollection:
         the memory saving the paper attributes to this fusion.
         """
         self.kernel_launches += 1
-        for t in self.tables:
-            grad = t.backward(d_pooled[t.name])
-            optimizer.step(t, grad)
+        with self.tracer.span("embedding.fused_bwd_update", cat="embedding",
+                              tables=len(self.tables)):
+            for t in self.tables:
+                grad = t.backward(d_pooled[t.name])
+                optimizer.step(t, grad)
+                self._count("update_rows", t.name, int(len(grad.rows)))
 
     def apply_optimizer(self, optimizer: SparseOptimizer) -> None:
         """Apply the optimizer to gradients captured by :meth:`backward`."""

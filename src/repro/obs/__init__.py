@@ -1,0 +1,46 @@
+"""Observability: span tracing, metrics and post-run reporting.
+
+The measurement substrate for the executable stack — the reproduction's
+analogue of torch.profiler + PARAM-bench in the real Neo system. Three
+pieces:
+
+* :mod:`repro.obs.tracer` — nestable spans on a wall or deterministic
+  logical clock, exported as Chrome ``trace_event`` JSON and as
+  per-component aggregates;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind a
+  :class:`MetricRegistry` with named scopes (wire bytes per collective,
+  cache hits, lookup rows, gradient norms);
+* :mod:`repro.obs.report` — markdown run summaries and
+  :func:`compare_to_model`, which diffs measured component shares
+  against the analytical :func:`repro.core.pipeline.breakdown`.
+
+Instrumentation is off by default (:data:`NULL_TRACER`) and, under the
+logical clock, fully deterministic.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricRegistry,
+                      MetricScope, default_registry)
+from .report import (DEFAULT_PHASE_MAP, ComponentComparison,
+                     compare_to_model, render_summary)
+from .tracer import (NULL_TRACER, NullTracer, SpanAggregate, SpanEvent,
+                     Trace, Tracer, as_tracer)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "Trace",
+    "SpanEvent",
+    "SpanAggregate",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricScope",
+    "default_registry",
+    "ComponentComparison",
+    "compare_to_model",
+    "render_summary",
+    "DEFAULT_PHASE_MAP",
+]

@@ -1,0 +1,144 @@
+"""Post-run reporting: summary tables and measured-vs-model comparison.
+
+:func:`render_summary` turns a :class:`repro.obs.Trace` (plus optional
+:class:`repro.obs.MetricRegistry` and analytical
+:class:`repro.core.pipeline.LatencyBreakdown`) into a markdown report.
+
+:func:`compare_to_model` is the bridge the motivation asks for: it maps
+the trainer's measured phase spans onto the components of the analytical
+Eq. 1 breakdown (Fig. 12) and diffs the per-component *shares*, so the
+executable stack and the performance model can be checked against each
+other run by run. Shares — not absolute seconds — are compared because
+the simulation executes on a host CPU while the model predicts the
+modelled accelerator cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["DEFAULT_PHASE_MAP", "ComponentComparison", "compare_to_model",
+           "render_summary"]
+
+
+# trainer phase span -> the analytical breakdown components it measures
+# (keys of repro.core.pipeline.LatencyBreakdown.serialized)
+DEFAULT_PHASE_MAP: Dict[str, Tuple[str, ...]] = {
+    "trainer.bottom_mlp_fwd": ("bottom_mlp_fwd",),
+    "trainer.embedding_fwd": ("embedding_lookup", "alltoall_fwd"),
+    "trainer.interaction_fwd": ("interaction_fwd",),
+    "trainer.top_mlp_fwd": ("top_mlp_fwd",),
+    "trainer.dense_bwd": ("top_mlp_bwd", "interaction_bwd",
+                          "bottom_mlp_bwd"),
+    "trainer.embedding_bwd": ("alltoall_bwd", "embedding_update"),
+    "trainer.allreduce": ("allreduce",),
+}
+
+
+@dataclass(frozen=True)
+class ComponentComparison:
+    """Measured vs modeled attribution for one trainer phase."""
+
+    component: str
+    measured_seconds: float
+    measured_share: float
+    model_seconds: float
+    model_share: float
+
+    @property
+    def delta_share(self) -> float:
+        return self.measured_share - self.model_share
+
+
+def compare_to_model(trace, model,
+                     phase_map: Optional[Dict[str, Tuple[str, ...]]] = None
+                     ) -> List[ComponentComparison]:
+    """Diff measured phase shares against an analytical breakdown.
+
+    ``model`` is a :class:`repro.core.pipeline.LatencyBreakdown` (or any
+    object with a ``serialized`` dict); ``trace`` a
+    :class:`repro.obs.Trace` whose trainer phase spans follow the default
+    taxonomy. Shares are normalized over the mapped components on both
+    sides, so the two columns are directly comparable.
+    """
+    phase_map = DEFAULT_PHASE_MAP if phase_map is None else phase_map
+    agg = trace.aggregate()
+    measured = {span: agg[span].total if span in agg else 0.0
+                for span in phase_map}
+    modeled = {span: sum(model.serialized.get(k, 0.0) for k in keys)
+               for span, keys in phase_map.items()}
+    m_total = sum(measured.values())
+    a_total = sum(modeled.values())
+    rows = []
+    for span in phase_map:
+        rows.append(ComponentComparison(
+            component=span,
+            measured_seconds=measured[span],
+            measured_share=measured[span] / m_total if m_total else 0.0,
+            model_seconds=modeled[span],
+            model_share=modeled[span] / a_total if a_total else 0.0))
+    return rows
+
+
+def _fmt_time(value: float, logical: bool) -> str:
+    if logical:
+        return f"{value:.0f} ticks"
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def render_summary(trace, registry=None, model=None,
+                   title: str = "Instrumented run summary") -> str:
+    """A markdown report: span aggregates, metrics, model comparison."""
+    logical = trace.clock == "logical"
+    lines = [f"# {title}", "",
+             f"clock: {trace.clock} · spans: {len(trace.closed_events())} "
+             f"· traced extent: "
+             f"{_fmt_time(trace.total_duration, logical)}", ""]
+
+    agg = trace.aggregate()
+    if agg:
+        total = sum(a.self_time for a in agg.values()) or 1.0
+        lines += ["## Spans", "",
+                  "| span | count | total | self | self share |",
+                  "|---|---:|---:|---:|---:|"]
+        for name in sorted(agg, key=lambda n: -agg[n].self_time):
+            a = agg[name]
+            lines.append(
+                f"| `{name}` | {a.count} | "
+                f"{_fmt_time(a.total, logical)} | "
+                f"{_fmt_time(a.self_time, logical)} | "
+                f"{100.0 * a.self_time / total:.1f}% |")
+        lines.append("")
+
+    if registry is not None:
+        snap = registry.snapshot()
+        if snap:
+            lines += ["## Metrics", "", "| metric | value |", "|---|---:|"]
+            for key, value in snap.items():
+                if isinstance(value, dict):  # histogram summary
+                    value = (f"n={value['count']} mean={value['mean']:.4g} "
+                             f"max={value['max']:.4g}")
+                elif isinstance(value, float):
+                    value = f"{value:.6g}"
+                lines.append(f"| `{key}` | {value} |")
+            lines.append("")
+
+    if model is not None:
+        rows = compare_to_model(trace, model)
+        lines += ["## Measured vs analytical model (Fig. 12 components)",
+                  "",
+                  "| phase | measured share | model share | delta |",
+                  "|---|---:|---:|---:|"]
+        for r in rows:
+            lines.append(
+                f"| `{r.component}` | {100.0 * r.measured_share:.1f}% | "
+                f"{100.0 * r.model_share:.1f}% | "
+                f"{100.0 * r.delta_share:+.1f}pp |")
+        lines.append("")
+
+    return "\n".join(lines)

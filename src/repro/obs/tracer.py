@@ -1,0 +1,331 @@
+"""Span tracing for instrumented training runs.
+
+The executable stack (trainer, process group, embedding, cache) is
+annotated with nestable spans::
+
+    with tracer.span("trainer.embedding_fwd", table="t0"):
+        ...
+
+Completed spans accumulate in a per-run :class:`Trace` that exports two
+views:
+
+* **Chrome ``trace_event`` JSON** (:meth:`Trace.to_chrome_trace`) —
+  loadable in ``chrome://tracing`` or Perfetto, one complete-event
+  (``"ph": "X"``) per span;
+* **per-component aggregates** (:meth:`Trace.aggregate`) — inclusive and
+  self time per span name, the measured counterpart of the analytical
+  :func:`repro.core.pipeline.breakdown` (compared by
+  :func:`repro.obs.report.compare_to_model`).
+
+Two clocks are supported. ``clock="wall"`` timestamps spans with
+``time.perf_counter``. ``clock="logical"`` increments an integer tick at
+every span boundary instead — fully deterministic, so tests can assert
+span trees exactly (:meth:`Trace.tree`).
+
+Tracing is **off by default**: the :data:`NULL_TRACER` singleton satisfies
+the same interface with a shared, stateless no-op span, so the
+instrumented hot paths allocate nothing and record nothing when tracing
+is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["SpanEvent", "SpanAggregate", "Trace", "Tracer", "NullTracer",
+           "NULL_TRACER", "as_tracer"]
+
+
+@dataclass
+class SpanEvent:
+    """One completed (or still-open) span.
+
+    ``start``/``end`` are seconds (wall clock) or integer ticks (logical
+    clock); ``end < 0`` marks a span still open. ``parent`` is the index
+    of the enclosing span in :attr:`Trace.events` (-1 for roots).
+    """
+
+    name: str
+    cat: str = "default"
+    start: float = 0.0
+    end: float = -1.0
+    pid: int = 0
+    tid: int = 0
+    depth: int = 0
+    parent: int = -1
+    index: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def closed(self) -> bool:
+        return self.end >= self.start
+
+
+@dataclass
+class SpanAggregate:
+    """Aggregate over all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0   # inclusive time
+    self_time: float = 0.0  # exclusive time (children subtracted)
+
+    def merge(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.self_time += duration
+
+
+class Trace:
+    """An ordered record of spans from one instrumented run."""
+
+    def __init__(self, clock: str = "wall",
+                 process_name: str = "repro") -> None:
+        if clock not in ("wall", "logical"):
+            raise ValueError(
+                f"unknown clock {clock!r}; expected 'wall' or 'logical'")
+        self.clock = clock
+        self.process_name = process_name
+        self.events: List[SpanEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(self, event: SpanEvent) -> SpanEvent:
+        event.index = len(self.events)
+        self.events.append(event)
+        return event
+
+    # -- queries --------------------------------------------------------
+    def closed_events(self) -> List[SpanEvent]:
+        return [e for e in self.events if e.closed]
+
+    def find(self, name: str) -> List[SpanEvent]:
+        """All closed spans with the given name, in start order."""
+        return [e for e in self.events if e.name == name and e.closed]
+
+    def roots(self) -> List[SpanEvent]:
+        return [e for e in self.events if e.parent < 0]
+
+    def tree(self) -> Tuple:
+        """The span forest as nested ``(name, (children...))`` tuples.
+
+        Deterministic under the logical clock — the canonical object for
+        exact structural assertions in tests.
+        """
+        children: Dict[int, List[SpanEvent]] = {}
+        for e in self.events:
+            children.setdefault(e.parent, []).append(e)
+
+        def build(e: SpanEvent) -> Tuple:
+            kids = children.get(e.index, [])
+            return (e.name, tuple(build(k) for k in kids))
+
+        return tuple(build(e) for e in children.get(-1, []))
+
+    def aggregate(self) -> Dict[str, SpanAggregate]:
+        """Inclusive/self time per span name over closed spans."""
+        out: Dict[str, SpanAggregate] = {}
+        child_time: Dict[int, float] = {}
+        for e in self.events:
+            if e.closed and e.parent >= 0:
+                child_time[e.parent] = child_time.get(e.parent, 0.0) \
+                    + e.duration
+        for e in self.events:
+            if not e.closed:
+                continue
+            agg = out.setdefault(e.name, SpanAggregate(e.name))
+            agg.merge(e.duration)
+            agg.self_time -= child_time.get(e.index, 0.0)
+        return out
+
+    def component_seconds(self, name: str) -> float:
+        """Total inclusive time of all spans with the given name."""
+        return sum(e.duration for e in self.find(name))
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of root-span durations (the run's traced extent)."""
+        return sum(e.duration for e in self.roots() if e.closed)
+
+    # -- export ---------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` representation (Perfetto-loadable).
+
+        Timestamps are microseconds relative to the first span. Every
+        event, including the process-name metadata record, carries the
+        ``ph``/``ts``/``pid``/``tid`` fields the format requires.
+        """
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "ts": 0, "pid": 0, "tid": 0,
+            "args": {"name": self.process_name},
+        }]
+        closed = self.closed_events()
+        if self.clock == "wall":
+            t0 = min((e.start for e in closed), default=0.0)
+            scale = 1e6  # seconds -> microseconds
+        else:
+            t0 = 0.0
+            scale = 1.0  # one tick == one microsecond, already integral
+        for e in closed:
+            events.append({
+                "name": e.name, "cat": e.cat, "ph": "X",
+                "ts": (e.start - t0) * scale, "dur": e.duration * scale,
+                "pid": e.pid, "tid": e.tid,
+                "args": dict(e.args),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"clock": self.clock, "spans": len(closed)}}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+    def save(self, path: str, indent: Optional[int] = None) -> str:
+        with open(path, "w") as f:
+            f.write(self.to_json(indent=indent))
+        return path
+
+
+class _Span:
+    """Context manager recording one span into a tracer's trace."""
+
+    __slots__ = ("_tracer", "_event")
+
+    def __init__(self, tracer: "Tracer", event: SpanEvent) -> None:
+        self._tracer = tracer
+        self._event = event
+
+    def set(self, **args: Any) -> "_Span":
+        """Attach/overwrite span attributes (e.g. byte counts)."""
+        self._event.args.update(args)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._tracer._enter(self._event)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # exception-safe: the span closes and the stack pops no matter
+        # what; failures are marked rather than corrupting nesting
+        if exc_type is not None:
+            self._event.args["error"] = exc_type.__name__
+        self._tracer._exit(self._event)
+        return False
+
+
+class Tracer:
+    """Records nestable spans into a :class:`Trace`.
+
+    Single-stack by design: the simulated cluster runs every rank
+    lock-step in one thread, so span nesting mirrors call nesting.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: str = "wall",
+                 process_name: str = "repro") -> None:
+        self.trace = Trace(clock=clock, process_name=process_name)
+        self._stack: List[SpanEvent] = []
+        self._ticks = 0
+        self._logical = clock == "logical"
+
+    def _now(self) -> float:
+        if self._logical:
+            self._ticks += 1
+            return float(self._ticks)
+        return time.perf_counter()
+
+    def span(self, name: str, cat: str = "default", tid: int = 0,
+             **args: Any) -> _Span:
+        """A context manager for one named span; ``args`` become the
+        Chrome-trace ``args`` payload (e.g. ``table="t0"``, byte counts)."""
+        return _Span(self, SpanEvent(name=name, cat=cat, tid=tid, args=args))
+
+    def _enter(self, event: SpanEvent) -> None:
+        if self._stack:
+            event.parent = self._stack[-1].index
+            event.depth = self._stack[-1].depth + 1
+        event.start = self._now()
+        self.trace.add(event)
+        self._stack.append(event)
+
+    def _exit(self, event: SpanEvent) -> None:
+        event.end = self._now()
+        # pop to (and including) this event even if inner spans leaked
+        while self._stack:
+            if self._stack.pop() is event:
+                break
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class _NullSpan:
+    """Shared no-op span: no state, no allocation, exception-transparent."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` returns one shared no-op span.
+
+    This is the default wired through the training stack; the inner loop
+    pays one method call per span site and allocates nothing.
+    """
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "default", tid: int = 0,
+             **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def trace(self) -> Trace:
+        # an empty trace, so exporters work uniformly on a disabled tracer
+        return Trace()
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(trace: Union[None, bool, str, Tracer, NullTracer]
+              ) -> Union[Tracer, NullTracer]:
+    """Normalize a user-facing ``trace=`` argument to a tracer.
+
+    ``None``/``False`` -> the shared no-op tracer; ``True`` -> a fresh
+    wall-clock tracer; a clock name (``"wall"``/``"logical"``) -> a fresh
+    tracer on that clock; an existing tracer passes through.
+    """
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, str):
+        return Tracer(clock=trace)
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    raise TypeError(f"cannot interpret {trace!r} as a tracer")

@@ -292,3 +292,41 @@ class TestValidation:
         assert log.calls.get("all_reduce", 0) > 0
         assert any("all_to_all" in k for k in log.calls)
         assert log.total_seconds > 0
+
+
+class TestTracingParity:
+    """Instrumentation must be read-only: a traced run and an untraced run
+    produce bit-identical parameters and losses."""
+
+    def _train(self, trace):
+        from repro.obs import MetricRegistry
+        config = make_config()
+        world = 4
+        plan = make_plan(config, world, ShardingScheme.TABLE_WISE)
+        topo = ClusterTopology(num_nodes=1, gpus_per_node=world)
+        trainer = NeoTrainer(
+            config, plan, topo,
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseSGD(lr=0.1), seed=0,
+            trace=trace, metrics=MetricRegistry())
+        ds = dataset_for(config)
+        losses = [trainer.train_step(b.split(world))
+                  for b in ds.batches(16, 3)]
+        return trainer, losses
+
+    def test_traced_run_is_bit_identical(self):
+        from repro.obs import Tracer
+        plain, plain_losses = self._train(trace=None)
+        traced, traced_losses = self._train(trace=Tracer(clock="logical"))
+
+        assert plain_losses == traced_losses  # exact, not approx
+        for t in plain.config.tables:
+            np.testing.assert_array_equal(plain.gather_table(t.name),
+                                          traced.gather_table(t.name))
+        for got, want in zip(traced.to_local_model().dense_parameters(),
+                             plain.to_local_model().dense_parameters()):
+            np.testing.assert_array_equal(got.data, want.data)
+        # and the traced run actually recorded the phase taxonomy
+        agg = traced.tracer.trace.aggregate()
+        assert "trainer.iteration" in agg
+        assert agg["trainer.iteration"].count == 3

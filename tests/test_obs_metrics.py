@@ -1,0 +1,138 @@
+"""Unit tests for the metric registry: counters/gauges/histograms,
+label-keyed identity, named scopes and snapshot/reset semantics."""
+
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricRegistry,
+                       MetricScope, default_registry)
+
+
+class TestCounters:
+
+    def test_inc_and_get_or_create_identity(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("requests") is c
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricRegistry().counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_distinguish_metrics(self):
+        reg = MetricRegistry()
+        a = reg.counter("wire_bytes", collective="all_reduce")
+        b = reg.counter("wire_bytes", collective="all_gather")
+        assert a is not b
+        a.inc(100)
+        b.inc(1)
+        assert reg.by_label("wire_bytes", "collective") == {
+            "all_reduce": 100, "all_gather": 1}
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricRegistry()
+        a = reg.counter("m", x=1, y=2)
+        b = reg.counter("m", y=2, x=1)
+        assert a is b
+
+    def test_type_collision_raises(self):
+        reg = MetricRegistry()
+        reg.counter("thing")
+        with pytest.raises(TypeError):
+            reg.gauge("thing")
+
+
+class TestGaugesAndHistograms:
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_summary(self):
+        h = MetricRegistry().histogram("grad_norm")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.summary() == {"count": 3, "total": 6.0, "min": 1.0,
+                               "max": 3.0, "mean": 2.0}
+
+    def test_empty_histogram_summary(self):
+        h = MetricRegistry().histogram("empty")
+        assert h.summary()["count"] == 0
+
+
+class TestScopes:
+
+    def test_scope_prefixes_names(self):
+        reg = MetricRegistry()
+        comms = reg.scope("comms")
+        comms.counter("calls", collective="all_reduce").inc()
+        assert reg.counter("comms.calls", collective="all_reduce").value == 1
+
+    def test_scopes_nest(self):
+        reg = MetricRegistry()
+        inner = reg.scope("a").scope("b")
+        assert isinstance(inner, MetricScope)
+        inner.counter("c").inc(7)
+        assert reg.snapshot() == {"a.b.c": 7}
+
+    def test_scope_snapshot_and_reset_are_windowed(self):
+        reg = MetricRegistry()
+        reg.scope("comms").counter("calls").inc(2)
+        reg.scope("cache").counter("hits").inc(9)
+        assert reg.scope("comms").snapshot() == {"comms.calls": 2}
+        reg.scope("comms").reset()
+        assert reg.scope("comms").snapshot() == {}
+        assert reg.scope("cache").snapshot() == {"cache.hits": 9}
+
+    def test_scope_prefix_does_not_leak_to_siblings(self):
+        # "comms" scope reset must not clear "comms_extra.*" metrics
+        reg = MetricRegistry()
+        reg.scope("comms").counter("calls").inc()
+        reg.scope("comms_extra").counter("calls").inc()
+        reg.scope("comms").reset()
+        assert reg.snapshot() == {"comms_extra.calls": 1}
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().scope("")
+
+
+class TestRegistryViews:
+
+    def test_snapshot_includes_histogram_summaries(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").record(5.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 5.0
+
+    def test_metrics_iterator_filters_by_prefix(self):
+        reg = MetricRegistry()
+        reg.counter("comms.calls")
+        reg.counter("cache.hits")
+        names = {m.name for m in reg.metrics(prefix="comms")}
+        assert names == {"comms.calls"}
+
+    def test_reset_all(self):
+        reg = MetricRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(1)
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+        assert isinstance(default_registry(), MetricRegistry)
+
+    def test_metric_classes_exported(self):
+        reg = MetricRegistry()
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)

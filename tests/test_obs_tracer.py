@@ -1,0 +1,277 @@
+"""Unit tests for the span tracer: nesting, exception safety, export
+formats, the deterministic logical clock, and the no-op fast path."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import nn
+from repro.comms import ClusterTopology
+from repro.core import NeoTrainer
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig, SparseAdaGrad
+from repro.models import DLRMConfig
+from repro.obs import (NULL_TRACER, NullTracer, Trace, Tracer, as_tracer)
+from repro.sharding import PlannerConfig
+
+
+class TestSpanNesting:
+
+    def test_parent_depth_and_tree(self):
+        tr = Tracer(clock="logical")
+        with tr.span("outer"):
+            with tr.span("inner_a"):
+                pass
+            with tr.span("inner_b"):
+                with tr.span("leaf"):
+                    pass
+        assert tr.depth == 0
+        trace = tr.trace
+        assert trace.tree() == (
+            ("outer", (("inner_a", ()),
+                       ("inner_b", (("leaf", ()),)))),)
+        outer, = trace.find("outer")
+        leaf, = trace.find("leaf")
+        assert outer.parent == -1 and outer.depth == 0
+        assert leaf.depth == 2
+        assert trace.events[leaf.parent].name == "inner_b"
+
+    def test_span_args_and_set(self):
+        tr = Tracer()
+        with tr.span("s", table="t0", rows=7) as span:
+            span.set(extra=1)
+        event, = tr.trace.find("s")
+        assert event.args == {"table": "t0", "rows": 7, "extra": 1}
+
+    def test_exception_marks_span_and_unwinds_stack(self):
+        tr = Tracer(clock="logical")
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("failing"):
+                    raise RuntimeError("boom")
+        assert tr.depth == 0
+        failing, = tr.trace.find("failing")
+        assert failing.closed
+        assert failing.args["error"] == "RuntimeError"
+        outer, = tr.trace.find("outer")
+        assert outer.closed
+
+    def test_sequential_spans_are_siblings(self):
+        tr = Tracer(clock="logical")
+        for name in ("a", "b", "c"):
+            with tr.span(name):
+                pass
+        assert tr.trace.tree() == (("a", ()), ("b", ()), ("c", ()))
+
+
+class TestLogicalClock:
+
+    def test_ticks_are_deterministic(self):
+        def run():
+            tr = Tracer(clock="logical")
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    pass
+            return [(e.name, e.start, e.end) for e in tr.trace.events]
+
+        first, second = run(), run()
+        assert first == second
+        assert first == [("outer", 1.0, 4.0), ("inner", 2.0, 3.0)]
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError):
+            Tracer(clock="vibes")
+
+
+class TestChromeExport:
+
+    def test_schema_fields(self):
+        tr = Tracer(clock="logical")
+        with tr.span("outer", cat="trainer", step=0):
+            with tr.span("inner", cat="comms"):
+                pass
+        doc = json.loads(tr.trace.to_json())
+        events = doc["traceEvents"]
+        assert len(events) == 3  # metadata + 2 spans
+        for e in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+        meta = events[0]
+        assert meta["ph"] == "M" and meta["name"] == "process_name"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        for e in spans:
+            assert e["dur"] >= 0 and e["ts"] >= 0
+        assert doc["otherData"]["clock"] == "logical"
+
+    def test_wall_clock_timestamps_relative_and_nonnegative(self):
+        tr = Tracer(clock="wall")
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        spans = [e for e in tr.trace.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert min(e["ts"] for e in spans) == 0.0
+        assert all(e["ts"] >= 0 for e in spans)
+
+    def test_save_roundtrip(self, tmp_path):
+        tr = Tracer(clock="logical")
+        with tr.span("s"):
+            pass
+        path = tr.trace.save(str(tmp_path / "trace.json"))
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["otherData"]["spans"] == 1
+
+    def test_open_spans_are_excluded(self):
+        tr = Tracer(clock="logical")
+        span = tr.span("never_closed")
+        tr._enter(span._event)  # enter without exiting
+        assert tr.trace.closed_events() == []
+        doc = tr.trace.to_chrome_trace()
+        assert len(doc["traceEvents"]) == 1  # metadata only
+
+
+class TestAggregation:
+
+    def test_self_time_subtracts_direct_children(self):
+        tr = Tracer(clock="logical")
+        with tr.span("outer"):      # ticks 1..6: total 5
+            with tr.span("inner"):  # ticks 2..5: total 3
+                with tr.span("leaf"):  # ticks 3..4: total 1
+                    pass
+        agg = tr.trace.aggregate()
+        assert agg["outer"].total == 5.0
+        assert agg["outer"].self_time == 2.0  # 5 - inner's 3
+        assert agg["inner"].self_time == 2.0  # 3 - leaf's 1
+        assert agg["leaf"].self_time == 1.0
+        assert agg["outer"].count == 1
+
+    def test_component_seconds_sums_by_name(self):
+        tr = Tracer(clock="logical")
+        for _ in range(3):
+            with tr.span("repeated"):
+                pass
+        assert tr.trace.component_seconds("repeated") == 3.0
+        assert tr.trace.aggregate()["repeated"].count == 3
+
+    def test_total_duration_is_root_sum(self):
+        tr = Tracer(clock="logical")
+        with tr.span("a"):  # 1..2
+            pass
+        with tr.span("b"):  # 3..6
+            with tr.span("kid"):
+                pass
+        assert tr.trace.total_duration == 1.0 + 3.0
+
+
+class TestNullTracer:
+
+    def test_span_is_shared_singleton(self):
+        spans = {id(NULL_TRACER.span(f"s{i}", x=i)) for i in range(4)}
+        assert len(spans) == 1
+        with NULL_TRACER.span("anything") as s:
+            assert s.set(a=1) is s
+        assert NULL_TRACER.enabled is False
+        assert len(NULL_TRACER.trace) == 0
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("s"):
+                raise ValueError("through")
+
+    def test_no_measurable_allocations(self):
+        """The disabled hot path must not accumulate memory."""
+        tracer = NullTracer()
+
+        def burst(n):
+            for i in range(n):
+                with tracer.span("hot", cat="comms"):
+                    pass
+
+        burst(100)  # warm up code paths
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        burst(5000)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # nothing retained: net growth stays under a single small page
+        assert after - before < 4096
+
+
+class TestAsTracer:
+
+    def test_coercions(self):
+        assert as_tracer(None) is NULL_TRACER
+        assert as_tracer(False) is NULL_TRACER
+        assert isinstance(as_tracer(True), Tracer)
+        assert as_tracer("logical").trace.clock == "logical"
+        tr = Tracer()
+        assert as_tracer(tr) is tr
+        nt = NullTracer()
+        assert as_tracer(nt) is nt
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_tracer(42)
+
+
+class TestTrainerSpanTree:
+    """A 2-rank, 1-iteration run has an exactly reproducible span tree
+    under the logical clock."""
+
+    def test_table_wise_iteration_tree(self):
+        tables = (EmbeddingTableConfig("t0", 64, 8, avg_pooling=2.0),)
+        config = DLRMConfig(dense_dim=4, bottom_mlp=(8,), tables=tables,
+                            top_mlp=(8,))
+        tracer = Tracer(clock="logical")
+        trainer = NeoTrainer.from_planner(
+            config, ClusterTopology(num_nodes=1, gpus_per_node=2),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+            sparse_optimizer=SparseAdaGrad(lr=0.1), seed=0,
+            planner_config=PlannerConfig(world_size=2, ranks_per_node=2,
+                                         dp_threshold_rows=16),
+            trace=tracer)
+        ds = SyntheticCTRDataset(tables, dense_dim=4, seed=1)
+        trainer.train_step(ds.batch(8, 0).split(2))
+
+        assert tracer.trace.tree() == (
+            ("trainer.iteration", (
+                ("trainer.bottom_mlp_fwd", ()),
+                ("trainer.embedding_fwd", (
+                    ("trainer.table_fwd", (
+                        ("comms.all_to_all/index", ()),
+                        ("comms.all_to_all/index", ()),
+                        ("trainer.embedding_lookup", ()),
+                        ("comms.all_to_all/forward_alltoall", ()))),)),
+                ("trainer.interaction_fwd", ()),
+                ("trainer.top_mlp_fwd", ()),
+                ("trainer.dense_bwd", ()),
+                ("trainer.embedding_bwd", (
+                    ("trainer.table_bwd", (
+                        ("comms.all_to_all/backward_alltoall", ()),
+                        ("trainer.embedding_update", ()))),)),
+                ("trainer.allreduce", (
+                    ("comms.all_reduce", ()),)),
+                ("trainer.optimizer", ()))),)
+
+    def test_two_runs_produce_identical_event_streams(self):
+        def run():
+            tables = (EmbeddingTableConfig("t0", 32, 4, avg_pooling=2.0),)
+            config = DLRMConfig(dense_dim=4, bottom_mlp=(4,), tables=tables,
+                                top_mlp=(4,))
+            tracer = Tracer(clock="logical")
+            trainer = NeoTrainer.from_planner(
+                config, ClusterTopology(num_nodes=1, gpus_per_node=2),
+                dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+                sparse_optimizer=SparseAdaGrad(lr=0.1), seed=0,
+                planner_config=PlannerConfig(world_size=2, ranks_per_node=2,
+                                             dp_threshold_rows=8),
+                trace=tracer)
+            ds = SyntheticCTRDataset(tables, dense_dim=4, seed=1)
+            trainer.train_step(ds.batch(8, 0).split(2))
+            return [(e.name, e.start, e.end, e.parent, e.depth)
+                    for e in tracer.trace.events]
+
+        assert run() == run()
