@@ -1,23 +1,55 @@
 """Section 4.1.1 (X1): fused multi-table embedding kernel speedup.
 
 The paper reports up to 7x over per-table ``nn.EmbeddingBag`` at the
-operator level. Two reproductions:
+operator level. Three reproductions:
 
 * the performance model's launch-amortization account across table counts
   (the 7x regime is many small tables);
-* a wall-clock measurement of the real numpy operator, where the fused
-  collection's single dispatch beats a python-per-table loop.
+* a wall-clock measurement of the real numpy operator comparing three
+  implementations of the same multi-table pooled lookup:
+
+  - ``legacy``  — per-table python loop over the seed's ``np.add.at``
+    scatter kernel (the unfused baseline this PR replaced),
+  - ``segloop`` — per-table loop over the shared ``segment_sum`` reduceat
+    kernel (``fusion="loop"``),
+  - ``arena``   — the single-dispatch fused megatable
+    (``fusion="arena"``: one tiled gather + one reduceat per dim group);
+
+* a bitwise parity check between ``arena`` and ``segloop`` (exact) and a
+  numerical check against ``legacy`` (allclose — reduceat and add.at
+  order their partial sums differently).
+
+Run standalone to write ``BENCH_fused_kernel.json``::
+
+    PYTHONPATH=src python benchmarks/bench_fused_kernel.py \
+        [--quick] [--out PATH] [--assert-speedup X]
+
+``--quick`` shrinks the workload for CI smoke runs; ``--assert-speedup``
+exits nonzero unless the arena's forward speedup over ``legacy`` meets
+the floor. The full-size run is the acceptance measurement: arena
+forward must be >= 3x legacy at 64 tables, B=4096, L=32.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.embedding import (EmbeddingTable, EmbeddingTableConfig,
-                             FusedEmbeddingCollection, lengths_to_offsets)
+                             FusedEmbeddingCollection, RowWiseAdaGrad,
+                             lengths_to_offsets)
 from repro.perf import V100, fused_speedup
 
 BATCH = 4096
 POOL = 32
+
+FULL_CONFIG = dict(num_tables=64, batch=4096, pool=32, rows=20_000, dim=16)
+QUICK_CONFIG = dict(num_tables=16, batch=256, pool=8, rows=2_000, dim=16)
 
 
 def model_rows():
@@ -29,6 +61,143 @@ def model_rows():
         s = fused_speedup(per_table, 32, V100)
         rows.append((num_tables, f"{s:.1f}x"))
     return rows
+
+
+def build_workload(num_tables, batch, pool, rows, dim, seed=0):
+    """Three same-weights views of one workload: arena / segloop / legacy."""
+    rng = np.random.default_rng(seed)
+    configs = [EmbeddingTableConfig(
+        f"t{i}", rows, dim, pooling_mode="mean" if i % 3 == 0 else "sum")
+        for i in range(num_tables)]
+    arena = FusedEmbeddingCollection.from_configs(
+        configs, rng=np.random.default_rng(seed + 1), fusion="arena")
+    segloop = FusedEmbeddingCollection(
+        [EmbeddingTable(c, weight=arena.table(c.name).weight.copy())
+         for c in configs], fusion="loop")
+    legacy = [EmbeddingTable(c, weight=arena.table(c.name).weight.copy())
+              for c in configs]
+    inputs = {c.name: (rng.integers(0, rows, size=batch * pool).astype(
+        np.int64), lengths_to_offsets(np.full(batch, pool, dtype=np.int64)))
+        for c in configs}
+    dy = {c.name: rng.normal(size=(batch, dim)).astype(np.float32)
+          for c in configs}
+    return arena, segloop, legacy, inputs, dy
+
+
+def _best_of(fn, iters):
+    best = float("inf")
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmark(quick=False, iters=None):
+    """Measure forward and full-train-step wall clock for all variants.
+
+    Returns a JSON-ready dict with per-variant timings, speedups relative
+    to ``legacy``, and the parity verdicts.
+    """
+    config = dict(QUICK_CONFIG if quick else FULL_CONFIG)
+    iters = iters if iters is not None else (2 if quick else 3)
+    arena, segloop, legacy, inputs, dy = build_workload(**config)
+
+    def legacy_fwd():
+        return {t.name: t.forward_reference(*inputs[t.name])
+                for t in legacy}
+
+    def legacy_step():
+        legacy_fwd()
+        opt = RowWiseAdaGrad(lr=0.05)
+        for t in legacy:
+            opt.step(t, t.backward(dy[t.name]))
+
+    variants = {
+        "legacy": (legacy_fwd, legacy_step),
+        "segloop": (lambda: segloop.forward(inputs),
+                    lambda: (segloop.forward(inputs),
+                             segloop.backward_and_update(
+                                 dy, RowWiseAdaGrad(lr=0.05)))),
+        "arena": (lambda: arena.forward(inputs),
+                  lambda: (arena.forward(inputs),
+                           arena.backward_and_update(
+                               dy, RowWiseAdaGrad(lr=0.05)))),
+    }
+
+    # parity first (also serves as warmup): arena vs segloop is bitwise,
+    # arena vs legacy is allclose (different partial-sum orders)
+    out_arena = arena.forward(inputs)
+    out_segloop = segloop.forward(inputs)
+    out_legacy = legacy_fwd()
+    bitwise = all(np.array_equal(out_arena[n], out_segloop[n])
+                  for n in arena.names)
+    close = all(np.allclose(out_arena[n], out_legacy[n],
+                            rtol=1e-5, atol=1e-6) for n in arena.names)
+
+    results = {}
+    for name, (fwd, step) in variants.items():
+        results[name] = {
+            "forward_s": _best_of(fwd, iters),
+            "train_step_s": _best_of(step, max(1, iters - 1)),
+        }
+    legacy_t = results["legacy"]
+    for name, r in results.items():
+        r["forward_speedup_vs_legacy"] = \
+            legacy_t["forward_s"] / r["forward_s"]
+        r["train_step_speedup_vs_legacy"] = \
+            legacy_t["train_step_s"] / r["train_step_s"]
+
+    return {
+        "benchmark": "fused_embedding_kernel",
+        "mode": "quick" if quick else "full",
+        "config": config,
+        "kernel_launches_per_forward": {
+            "legacy": config["num_tables"],
+            "segloop": config["num_tables"],
+            "arena": arena.arena.num_groups,
+        },
+        "parity": {
+            "arena_vs_segloop_bitwise": bool(bitwise),
+            "arena_vs_legacy_allclose": bool(close),
+        },
+        "variants": results,
+        "arena_forward_speedup": results["arena"][
+            "forward_speedup_vs_legacy"],
+        "arena_train_step_speedup": results["arena"][
+            "train_step_speedup_vs_legacy"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_fused_kernel.json",
+                        help="output JSON path")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless arena forward speedup >= X")
+    args = parser.parse_args(argv)
+    result = run_benchmark(quick=args.quick)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    fwd = result["arena_forward_speedup"]
+    step = result["arena_train_step_speedup"]
+    print(f"mode={result['mode']}  arena forward speedup {fwd:.2f}x, "
+          f"train-step speedup {step:.2f}x vs per-table np.add.at loop")
+    print(f"parity: {result['parity']}")
+    print(f"wrote {args.out}")
+    if not result["parity"]["arena_vs_segloop_bitwise"]:
+        print("FAIL: arena not bitwise-identical to per-table loop",
+              file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None and fwd < args.assert_speedup:
+        print(f"FAIL: arena forward speedup {fwd:.2f}x < "
+              f"floor {args.assert_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def test_fused_kernel_model(benchmark, report):
@@ -43,41 +212,24 @@ def test_fused_kernel_model(benchmark, report):
 
 
 def test_fused_operator_wallclock(benchmark, report):
-    """Real operator: fused dispatch vs naive per-table python loop."""
-    import time
-    rng = np.random.default_rng(0)
-    num_tables = 64
-    configs = [EmbeddingTableConfig(f"t{i}", 1000, 16, avg_pooling=4.0)
-               for i in range(num_tables)]
-    coll = FusedEmbeddingCollection.from_configs(configs, rng=rng)
-    solo_tables = [EmbeddingTable(c, weight=coll.table(c.name).weight)
-                   for c in configs]
-    batch = {}
-    for c in configs:
-        lengths = np.full(64, 4, dtype=np.int64)
-        batch[c.name] = (rng.integers(0, 1000, size=256).astype(np.int64),
-                         lengths_to_offsets(lengths))
+    """Real operator: arena vs segment-loop vs the seed's add.at loop."""
+    result = benchmark(run_benchmark, quick=True)
+    rows = [(name,
+             f"{r['forward_s'] * 1e3:.2f}",
+             f"{r['forward_speedup_vs_legacy']:.2f}x",
+             f"{r['train_step_s'] * 1e3:.2f}",
+             f"{r['train_step_speedup_vs_legacy']:.2f}x")
+            for name, r in result["variants"].items()]
+    report("fused arena vs per-table wall clock (numpy substrate)",
+           ["variant", "fwd ms", "fwd speedup", "step ms", "step speedup"],
+           rows)
+    assert result["parity"]["arena_vs_segloop_bitwise"]
+    assert result["parity"]["arena_vs_legacy_allclose"]
+    # the fused forward must actually win, even at smoke size
+    assert result["arena_forward_speedup"] >= 1.0
+    # true dispatch accounting: uniform dim -> one launch per forward
+    assert result["kernel_launches_per_forward"]["arena"] == 1
 
-    def fused():
-        return coll.forward(batch)
 
-    out = benchmark(fused)
-    assert len(out) == num_tables
-    # compare with the unfused loop once, outside the timed region
-    t0 = time.perf_counter()
-    for t in solo_tables:
-        indices, offsets = batch[t.name]
-        t.forward(indices, offsets)
-    unfused_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    coll.forward(batch)
-    fused_s = time.perf_counter() - t0
-    report("fused vs per-table wall clock (numpy substrate)",
-           ["variant", "seconds"],
-           [("per-table loop", f"{unfused_s:.4f}"),
-            ("fused collection", f"{fused_s:.4f}")])
-    # functional equivalence is what matters here; timing parity accepted
-    for t in solo_tables:
-        indices, offsets = batch[t.name]
-        np.testing.assert_array_equal(out[t.name],
-                                      t.forward(indices, offsets))
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..embedding.kernels import expand_bag_ids, segment_sum
 from ..embedding.table import EmbeddingTableConfig, SparseGradient
 from ..obs.tracer import as_tracer
 from .backing import ArrayBackingStore
@@ -163,27 +164,26 @@ class CachedEmbeddingTable:
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
-        batch = len(offsets) - 1
         lengths = np.diff(offsets)
-        bag_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
         with self.tracer.span("cache.lookup", cat="cache", table=self.name,
                               rows=int(len(indices))):
             rows = self.cache.read(indices, self.backing) if len(indices) \
                 else np.zeros((0, self.config.embedding_dim),
                               dtype=np.float32)
         self._sync_stats()
-        out = np.zeros((batch, self.config.embedding_dim), dtype=np.float32)
-        if len(indices):
-            np.add.at(out, bag_ids, rows)
+        out = segment_sum(rows, offsets)
         if self.config.pooling_mode == "mean":
             out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
-        self._saved = (indices, bag_ids, lengths)
+        self._saved = (indices, None, lengths)
         return out
 
     def backward(self, dy: np.ndarray) -> SparseGradient:
         if self._saved is None:
             raise RuntimeError("backward called before forward")
         indices, bag_ids, lengths = self._saved
+        if bag_ids is None:
+            bag_ids = expand_bag_ids(lengths)
+            self._saved = (indices, bag_ids, lengths)
         grad_rows = dy[bag_ids].astype(np.float32)
         if self.config.pooling_mode == "mean":
             denom = np.maximum(lengths, 1).astype(np.float32)

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from .. import lowp
+from ..embedding.kernels import expand_bag_ids, segment_sum
 from ..embedding.optim import merge_duplicate_rows
 from ..embedding.table import EmbeddingTableConfig, SparseGradient
 from .backing import ArrayBackingStore
@@ -98,23 +99,22 @@ class MixedPrecisionEmbeddingTable:
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
-        batch = len(offsets) - 1
         lengths = np.diff(offsets)
-        bag_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
         rows = self.cache.read(indices, self.backing) if len(indices) else \
             np.zeros((0, self.config.embedding_dim), dtype=np.float32)
-        out = np.zeros((batch, self.config.embedding_dim), dtype=np.float32)
-        if len(indices):
-            np.add.at(out, bag_ids, rows)
+        out = segment_sum(rows, offsets)
         if self.config.pooling_mode == "mean":
             out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
-        self._saved = (indices, bag_ids, lengths)
+        self._saved = (indices, None, lengths)
         return out
 
     def backward(self, dy: np.ndarray) -> SparseGradient:
         if self._saved is None:
             raise RuntimeError("backward called before forward")
         indices, bag_ids, lengths = self._saved
+        if bag_ids is None:
+            bag_ids = expand_bag_ids(lengths)
+            self._saved = (indices, bag_ids, lengths)
         grad_rows = dy[bag_ids].astype(np.float32)
         if self.config.pooling_mode == "mean":
             denom = np.maximum(lengths, 1).astype(np.float32)

@@ -41,8 +41,9 @@ from ..comms import ClusterTopology, QuantizedCommsConfig, SimProcessGroup
 from ..comms.bucketing import GradientBucketer
 from ..data.datagen import MiniBatch
 from ..data.kernels import bucketize_sparse
-from ..embedding import (EmbeddingTable, EmbeddingTableConfig,
-                         SparseGradient, SparseOptimizer)
+from ..embedding import (EmbeddingArena, EmbeddingTable,
+                         EmbeddingTableConfig, SparseGradient,
+                         SparseOptimizer)
 from ..embedding.table import lengths_to_offsets, offsets_to_lengths
 from ..models.dlrm import DLRM, DLRMConfig
 from ..obs.metrics import MetricRegistry
@@ -197,6 +198,19 @@ class NeoTrainer:
                     "lookup_rows", table=t.name)
                 self._update_counters[shard] = emb_metrics.counter(
                     "update_rows", table=t.name)
+        # Pack each rank's shard weights into per-dimension arenas — the
+        # device-local "megatable" layout of Section 4.1.1. Packing
+        # re-points every shard table's ``.weight`` at a view of the
+        # rank's contiguous storage; lookups and sparse updates read and
+        # write through the views, so numerics are unchanged while each
+        # rank's embedding memory becomes one allocation per dimension.
+        by_rank: Dict[int, List[EmbeddingTable]] = {}
+        for shard, table in self._shard_tables.items():
+            by_rank.setdefault(shard.rank, []).append(table)
+        self._rank_arenas: Dict[int, EmbeddingArena] = {
+            rank: EmbeddingArena(tables)
+            for rank, tables in sorted(by_rank.items())}
+        self._launch_counter = emb_metrics.counter("kernel_launches")
 
     # ------------------------------------------------------------------
     # instrumented shard access
@@ -209,6 +223,7 @@ class NeoTrainer:
                               rows=int(len(ids))):
             out = self._shard_tables[shard].forward(ids, offsets)
         self._lookup_counters[shard].inc(int(len(ids)))
+        self._launch_counter.inc(1)  # one gather+segment-reduce dispatch
         return out
 
     def _shard_update(self, shard: Shard, d_global: np.ndarray) -> None:
@@ -219,6 +234,7 @@ class NeoTrainer:
             grad = self._shard_tables[shard].backward(d_global)
             self.sparse_opt.step(self._shard_tables[shard], grad)
         self._update_counters[shard].inc(int(len(grad.rows)))
+        self._launch_counter.inc(1)  # one merge+apply dispatch
 
     def _apply_sparse(self, shard: Shard, sparse: SparseGradient) -> None:
         with self.tracer.span("trainer.embedding_update", cat="embedding",

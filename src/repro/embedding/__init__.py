@@ -1,8 +1,12 @@
-"""Embedding operators: tables, fused lookup, exact sparse optimizers,
-reduced-precision storage and tensor-train compression (paper Section 4.1)."""
+"""Embedding operators: tables, fused arena lookup, segment-reduce
+kernels, exact sparse optimizers, reduced-precision storage and
+tensor-train compression (paper Section 4.1)."""
 
+from .arena import EmbeddingArena
 from .dedup import dedup_forward, duplication_factor
 from .fused import FusedEmbeddingCollection
+from .kernels import (expand_bag_ids, merge_sorted_coo, rebase_jagged,
+                      segment_mean, segment_sum)
 from .optim import (RowWiseAdaGrad, SparseAdaGrad, SparseAdam, SparseLAMB,
                     SparseOptimizer, SparseSGD, merge_duplicate_rows,
                     optimizer_state_bytes)
@@ -18,6 +22,12 @@ __all__ = [
     "lengths_to_offsets",
     "offsets_to_lengths",
     "FusedEmbeddingCollection",
+    "EmbeddingArena",
+    "segment_sum",
+    "segment_mean",
+    "expand_bag_ids",
+    "rebase_jagged",
+    "merge_sorted_coo",
     "SparseOptimizer",
     "SparseSGD",
     "SparseAdaGrad",

@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .kernels import segment_sum
 from .table import EmbeddingTable
 
 __all__ = ["dedup_forward", "duplication_factor"]
@@ -38,13 +39,13 @@ def dedup_forward(table: EmbeddingTable, indices: np.ndarray,
     batch = len(offsets) - 1
     lengths = np.diff(offsets)
     bag_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
-    out = np.zeros((batch, table.config.embedding_dim), dtype=np.float32)
     if len(indices):
         unique, inverse = np.unique(indices, return_inverse=True)
         rows = table.weight[unique]          # one read per unique row
-        np.add.at(out, bag_ids, rows[inverse])
+        out = segment_sum(rows[inverse], offsets)
         unique_count = len(unique)
     else:
+        out = np.zeros((batch, table.config.embedding_dim), dtype=np.float32)
         unique_count = 0
     if table.config.pooling_mode == "mean":
         out /= np.maximum(lengths, 1).astype(np.float32)[:, None]

@@ -1,0 +1,218 @@
+"""Shared segment-reduce kernels for pooled embedding operators.
+
+Every pooled lookup in this repository reduces a jagged batch — ``N``
+gathered rows split into ``B`` bags by an ``offsets`` vector — into one
+vector per bag. The seed implementation used ``np.add.at``, numpy's
+generic indexed scatter-add, which processes one element per interpreter-
+level iteration and is by far the slowest way to express this reduction.
+These kernels express the same reduction as ``np.add.reduceat`` over
+contiguous segments, which runs at memcpy-like speed, and are shared by
+:class:`repro.embedding.EmbeddingTable`, the fused arena operator,
+tensor-train tables, batch dedup and the cached/mixed-precision tables.
+
+Determinism and parity
+----------------------
+
+``np.add.reduceat`` reduces each segment with numpy's fixed pairwise
+summation order, a pure function of the segment's contents and length.
+Two consequences the tests rely on:
+
+* **split-invariance** — reducing table ``t``'s segments inside a
+  concatenated multi-table array is bitwise identical to reducing them in
+  ``t``'s own array (the segment boundaries are the same, the surrounding
+  data is irrelevant), which is what makes the fused arena path bitwise
+  equal to the per-table path;
+* **determinism** — results are independent of how a global batch was
+  built or split, because the reduction order is a function of the jagged
+  layout only.
+
+``np.add.reduceat`` has one sharp edge: for a *empty* segment (equal
+adjacent offsets ``i == j``) it returns ``a[i]`` instead of an empty sum,
+and a trailing empty segment's start index can equal ``len(a)``, which is
+out of range. :func:`segment_sum` handles both explicitly by reducing
+only the non-empty segments (their starts are always in range) and
+leaving empty bags at zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "segment_sum",
+    "segment_sum_gather",
+    "segment_mean",
+    "expand_bag_ids",
+    "rebase_jagged",
+    "merge_sorted_coo",
+]
+
+# Tile size (gathered rows) for the fused gather+reduce kernel. One tile
+# of 8192 rows at D=16 is a 512 KB scratch buffer — L2-resident on any
+# modern CPU, which is the whole point: gathering the full concatenated
+# batch into one huge intermediate array spills every tile to DRAM and
+# runs ~4x slower (measured in BENCH_fused_kernel.json's trajectory).
+# FBGEMM's batched TBE kernel blocks its gathers the same way.
+_GATHER_TILE_ROWS = 8192
+
+
+def expand_bag_ids(lengths: np.ndarray) -> np.ndarray:
+    """Per-element bag ids for a jagged batch: ``[0]*L0 + [1]*L1 + ...``."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+
+
+def segment_sum(values: np.ndarray, offsets: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Sum jagged segments: ``out[b] = values[offsets[b]:offsets[b+1]].sum(0)``.
+
+    ``values`` is ``(N, D)`` float32, ``offsets`` is the ``(B+1,)``
+    EmbeddingBag offsets vector (monotone, ``offsets[0] == 0``,
+    ``offsets[-1] == N``). Empty bags (equal adjacent offsets, including
+    trailing ones whose start equals ``N``) yield exact zeros — the
+    ``reduceat`` identity-element gap is handled here so no caller has to.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_bags = len(offsets) - 1
+    if out is None:
+        out = np.zeros((num_bags, values.shape[1]), dtype=np.float32)
+    else:
+        out[:] = 0.0
+    if num_bags <= 0 or len(values) == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = starts < offsets[1:]
+    if nonempty.all():
+        out[:] = np.add.reduceat(values, starts, axis=0)
+    elif nonempty.any():
+        # Non-empty starts are strictly below N, so reduceat is in range;
+        # each reduced segment ends at the next non-empty start (the empty
+        # bags in between contribute no elements by construction).
+        out[nonempty] = np.add.reduceat(values, starts[nonempty], axis=0)
+    return out
+
+
+def segment_sum_gather(storage: np.ndarray, indices: np.ndarray,
+                       offsets: np.ndarray,
+                       tile_rows: int = _GATHER_TILE_ROWS) -> np.ndarray:
+    """Fused gather + segment-sum: ``out[b] = storage[indices[ob:ob+1]].sum(0)``.
+
+    The hot path of the arena megatable: one logical kernel that gathers
+    ``storage`` rows through ``indices`` and pools them by the jagged
+    ``offsets``, *tiled* over runs of whole bags so the gathered rows live
+    in an L2-resident scratch buffer instead of a batch-sized intermediate.
+    Tiles never split a bag, and reduceat's within-segment order depends
+    only on the segment contents, so the result is bitwise identical to
+    ``segment_sum(storage[indices], offsets)`` for any tile size.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_bags = len(offsets) - 1
+    dim = storage.shape[1]
+    if num_bags <= 0:
+        return np.zeros((0, dim), dtype=np.float32)
+    out = np.empty((num_bags, dim), dtype=np.float32)
+    scratch = np.empty((tile_rows, dim), dtype=np.float32)
+    bag = 0
+    while bag < num_bags:
+        # widest run of whole bags totalling <= tile_rows elements; a
+        # single oversized bag becomes its own tile
+        end_bag = int(np.searchsorted(offsets, offsets[bag] + tile_rows,
+                                      side="right")) - 1
+        if end_bag <= bag:
+            end_bag = bag + 1
+        e0, e1 = int(offsets[bag]), int(offsets[end_bag])
+        n = e1 - e0
+        starts = offsets[bag:end_bag] - e0
+        if n == 0:
+            out[bag:end_bag] = 0.0
+        else:
+            tile = scratch[:n] if n <= tile_rows else \
+                np.empty((n, dim), dtype=np.float32)
+            np.take(storage, indices[e0:e1], axis=0, out=tile)
+            if bool((starts < np.append(starts[1:], n)).all()):
+                np.add.reduceat(tile, starts, axis=0, out=out[bag:end_bag])
+            else:  # empty bags inside the tile: identity-element handling
+                segment_sum(tile, np.append(starts, n),
+                            out=out[bag:end_bag])
+        bag = end_bag
+    return out
+
+
+def segment_mean(values: np.ndarray, offsets: np.ndarray,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Mean-pool jagged segments; empty bags yield zeros (divide by 1)."""
+    out = segment_sum(values, offsets, out=out)
+    lengths = np.diff(np.asarray(offsets, dtype=np.int64))
+    out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
+    return out
+
+
+def rebase_jagged(inputs: Sequence[Tuple[np.ndarray, np.ndarray]],
+                  bases: Sequence[int]
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-table jagged batches into one arena-global batch.
+
+    ``inputs`` is a list of per-table ``(indices, offsets)`` pairs and
+    ``bases[t]`` is table ``t``'s first row in the arena. Returns
+    ``(global_indices, global_offsets, nnz_per_table)`` where
+    ``global_indices[k] = indices[k] + base_of_its_table`` and
+    ``global_offsets`` is the single jagged offsets vector over the
+    concatenated bags (all of table 0's bags, then table 1's, ...).
+    """
+    if len(inputs) != len(bases):
+        raise ValueError(
+            f"{len(inputs)} jagged inputs but {len(bases)} base offsets")
+    counts = np.array([len(idx) for idx, _ in inputs], dtype=np.int64)
+    if not len(inputs):
+        return (np.zeros(0, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                counts)
+    gidx = np.concatenate(
+        [np.asarray(idx, dtype=np.int64) for idx, _ in inputs])
+    gidx += np.repeat(np.asarray(bases, dtype=np.int64), counts)
+    parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    shift = 0
+    for (idx, offsets), count in zip(inputs, counts):
+        parts.append(np.asarray(offsets, dtype=np.int64)[1:] + shift)
+        shift += int(count)
+    return gidx, np.concatenate(parts), counts
+
+
+def merge_sorted_coo(rows: np.ndarray, values: np.ndarray,
+                     segment_offsets: Optional[np.ndarray] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort a COO gradient by row and sum duplicates into one entry per row.
+
+    The canonical total order is ``(row, value columns)`` — float addition
+    is not bitwise-commutative under reordering, so sorting by row alone
+    would leave the within-row summation order dependent on input order.
+    Lexsorting with the gradient columns as tie-breakers makes the merged
+    result a pure function of the (row, grad) multiset — the determinism
+    guarantee of paper Section 4.1.2. Because arena-global row ids are
+    disjoint across tables, merging a whole dimension group at once yields
+    bitwise the same per-table results as merging each table separately.
+
+    ``segment_offsets`` is a sort accelerator, not a semantic knob: when
+    the caller knows the COO is partitioned into contiguous runs whose row
+    ranges are disjoint and increasing (the arena's table-major group
+    gradient, offsets ``[0, nnz_0, nnz_0+nnz_1, ..., nnz]``), the global
+    lexsort's output is exactly the concatenation of the per-run lexsorts,
+    so each run is sorted independently — same bits, cache-sized sorts
+    instead of one DRAM-streaming sort (asserted by the parity tests).
+    """
+    if len(rows) == 0:
+        return rows.astype(np.int64), values.astype(np.float32)
+    if segment_offsets is not None:
+        parts = [merge_sorted_coo(rows[s:e], values[s:e])
+                 for s, e in zip(segment_offsets[:-1], segment_offsets[1:])
+                 if e > s]
+        return (np.concatenate([r for r, _ in parts]),
+                np.concatenate([v for _, v in parts], axis=0))
+    keys = tuple(values[:, d] for d in range(values.shape[1] - 1, -1, -1))
+    order = np.lexsort(keys + (rows,))
+    sorted_rows = rows[order]
+    sorted_vals = values[order]
+    unique_rows, starts = np.unique(sorted_rows, return_index=True)
+    merged = np.add.reduceat(sorted_vals, starts, axis=0)
+    return unique_rows.astype(np.int64), merged.astype(np.float32)

@@ -20,6 +20,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from .kernels import merge_sorted_coo
 from .table import EmbeddingTable, SparseGradient
 
 __all__ = [
@@ -40,23 +41,12 @@ def merge_duplicate_rows(rows: np.ndarray,
 
     This is the "transpose the sparse update matrix" step of Section 4.1.2:
     e.g. rows ``[1, 2, 2, 3]`` with gradients ``[g0, g1, g2, g3]`` become
-    rows ``[1, 2, 3]`` with gradients ``[g0, g1+g2, g3]``.
+    rows ``[1, 2, 3]`` with gradients ``[g0, g1+g2, g3]``. The heavy
+    lifting (canonical lexsort + reduceat merge) lives in
+    :func:`repro.embedding.kernels.merge_sorted_coo`, shared with the
+    fused arena backward.
     """
-    if len(rows) == 0:
-        return rows.astype(np.int64), values.astype(np.float32)
-    # Canonical total order on (row, gradient) pairs: float addition is not
-    # bitwise-commutative under reordering, so sorting by row alone would
-    # leave the within-row summation order dependent on input order. Lexsort
-    # with the gradient columns as tie-breakers makes the merged result a
-    # pure function of the (row, grad) multiset — the determinism guarantee
-    # of Section 4.1.2.
-    keys = tuple(values[:, d] for d in range(values.shape[1] - 1, -1, -1))
-    order = np.lexsort(keys + (rows,))
-    sorted_rows = rows[order]
-    sorted_vals = values[order]
-    unique_rows, starts = np.unique(sorted_rows, return_index=True)
-    merged = np.add.reduceat(sorted_vals, starts, axis=0)
-    return unique_rows.astype(np.int64), merged.astype(np.float32)
+    return merge_sorted_coo(rows, values)
 
 
 class SparseOptimizer:
@@ -74,9 +64,19 @@ class SparseOptimizer:
     def step(self, table: EmbeddingTable, grad: SparseGradient) -> None:
         """Merge duplicate rows, then apply one exact update per row."""
         rows, merged = merge_duplicate_rows(grad.rows, grad.values)
+        self.apply_merged(table, rows, merged)
+
+    def apply_merged(self, table: EmbeddingTable, rows: np.ndarray,
+                     grads: np.ndarray) -> None:
+        """Apply one exact update per *pre-merged* unique row.
+
+        The fused arena backward merges a whole dimension group's COO
+        gradient in one lexsort/reduceat and hands each table its slice;
+        re-merging here would only re-sort already-unique rows.
+        """
         if len(rows) == 0:
             return
-        self._apply(table, rows, merged)
+        self._apply(table, rows, grads)
 
     def _apply(self, table: EmbeddingTable, rows: np.ndarray,
                grads: np.ndarray) -> None:

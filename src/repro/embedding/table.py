@@ -17,6 +17,8 @@ from typing import Optional
 
 import numpy as np
 
+from .kernels import expand_bag_ids, segment_sum
+
 __all__ = ["EmbeddingTableConfig", "SparseGradient", "EmbeddingTable",
            "lengths_to_offsets", "offsets_to_lengths"]
 
@@ -130,7 +132,37 @@ class EmbeddingTable:
                 f"H={self.config.num_embeddings}")
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
-        """Pooled lookup: returns (B, D) with B = len(offsets) - 1."""
+        """Pooled lookup: returns (B, D) with B = len(offsets) - 1.
+
+        One gather plus one segment-reduce (``np.add.reduceat``), the
+        CPU analogue of the paper's batched FBGEMM lookup. Bag ids for
+        the backward pass are derived lazily — the forward hot path
+        never materializes a scatter index.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        self._validate(indices, offsets)
+        lengths = np.diff(offsets)
+        gathered = self.weight[indices] if len(indices) else \
+            np.zeros((0, self.config.embedding_dim), dtype=np.float32)
+        out = segment_sum(gathered, offsets)
+        if self.config.pooling_mode == "mean":
+            denom = np.maximum(lengths, 1).astype(np.float32)
+            out /= denom[:, None]
+        self._saved = (indices, None, lengths)
+        return out
+
+    def forward_reference(self, indices: np.ndarray,
+                          offsets: np.ndarray) -> np.ndarray:
+        """Seed ``np.add.at`` scatter implementation, kept as the slow
+        reference: the parity oracle for kernel tests and the baseline the
+        ``bench_fused_kernel`` trajectory measures speedups against.
+
+        Note ``np.add.at`` accumulates strictly sequentially while
+        :func:`~repro.embedding.kernels.segment_sum` uses numpy's pairwise
+        reduction order, so for bags longer than ~8 the two are equal only
+        to float32 rounding (the pairwise order is the more accurate one).
+        """
         indices = np.asarray(indices, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
         self._validate(indices, offsets)
@@ -151,6 +183,9 @@ class EmbeddingTable:
         if self._saved is None:
             raise RuntimeError("backward called before forward")
         indices, bag_ids, lengths = self._saved
+        if bag_ids is None:
+            bag_ids = expand_bag_ids(lengths)
+            self._saved = (indices, bag_ids, lengths)
         grad_rows = dy[bag_ids].astype(np.float32)
         if self.config.pooling_mode == "mean":
             denom = np.maximum(lengths, 1).astype(np.float32)

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .kernels import segment_sum
 
 __all__ = ["TTEmbeddingTable", "factorize_dims"]
 
@@ -133,9 +134,8 @@ class TTEmbeddingTable:
         batch = len(offsets) - 1
         lengths = np.diff(offsets)
         bag_ids = np.repeat(np.arange(batch, dtype=np.int64), lengths)
-        out = np.zeros((batch, self.embedding_dim), dtype=np.float32)
-        if len(indices):
-            np.add.at(out, bag_ids, rows)
+        out = segment_sum(rows, offsets) if len(indices) else \
+            np.zeros((batch, self.embedding_dim), dtype=np.float32)
         self._pool_saved = (bag_ids, len(indices))
         return out
 

@@ -1,0 +1,271 @@
+"""Unit tests for the shared segment-reduce kernels (repro.embedding.kernels).
+
+These primitives back every pooled lookup in the repo (per-table,
+arena, TT, dedup, cached tables), so their edge cases — above all the
+``np.add.reduceat`` empty-segment identity gap — get dedicated coverage
+here rather than indirectly through the operators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.embedding.kernels import (expand_bag_ids, merge_sorted_coo,
+                                     rebase_jagged, segment_mean,
+                                     segment_sum, segment_sum_gather)
+
+
+def reference_segment_sum(values, offsets):
+    """Straight-line oracle: per-bag slice-and-sum.
+
+    ``ndarray.sum`` blocks its pairwise summation differently from
+    ``np.add.reduceat``, so comparisons against this oracle are allclose,
+    not bitwise (the bitwise assertions in this file compare reduceat
+    against reduceat).
+    """
+    out = np.zeros((len(offsets) - 1, values.shape[1]), dtype=np.float32)
+    for b in range(len(offsets) - 1):
+        seg = values[offsets[b]:offsets[b + 1]]
+        if len(seg):
+            out[b] = seg.sum(axis=0)
+    return out
+
+
+def assert_close(actual, desired):
+    np.testing.assert_allclose(actual, desired, rtol=1e-6, atol=1e-6)
+
+
+def random_jagged(rng, num_bags, max_len, dim, empty_prob=0.3):
+    lengths = rng.integers(0, max_len + 1, size=num_bags)
+    lengths[rng.random(num_bags) < empty_prob] = 0
+    offsets = np.zeros(num_bags + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    values = rng.normal(size=(int(offsets[-1]), dim)).astype(np.float32)
+    return values, offsets
+
+
+class TestSegmentSum:
+    def test_matches_reference_dense(self):
+        rng = np.random.default_rng(0)
+        values, offsets = random_jagged(rng, 50, 9, 8, empty_prob=0.0)
+        assert_close(segment_sum(values, offsets),
+                     reference_segment_sum(values, offsets))
+
+    def test_empty_bag_between_full_bags_yields_zeros(self):
+        # The reduceat identity gap: offsets[i] == offsets[i+1] would make
+        # raw reduceat return values[offsets[i]] instead of 0.
+        values = np.arange(12, dtype=np.float32).reshape(6, 2)
+        offsets = np.array([0, 2, 2, 6], dtype=np.int64)
+        out = segment_sum(values, offsets)
+        np.testing.assert_array_equal(out[1], np.zeros(2, dtype=np.float32))
+        np.testing.assert_array_equal(out, reference_segment_sum(values,
+                                                                 offsets))
+
+    def test_trailing_empty_bags(self):
+        # Trailing empty bags start at len(values) — out of range for raw
+        # reduceat; must still produce zeros, not raise.
+        values = np.ones((3, 4), dtype=np.float32)
+        offsets = np.array([0, 3, 3, 3], dtype=np.int64)
+        out = segment_sum(values, offsets)
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out[0], np.full(4, 3.0))
+        np.testing.assert_array_equal(out[1:], np.zeros((2, 4)))
+
+    def test_leading_empty_bag(self):
+        values = np.ones((2, 3), dtype=np.float32)
+        offsets = np.array([0, 0, 2], dtype=np.int64)
+        out = segment_sum(values, offsets)
+        np.testing.assert_array_equal(out[0], np.zeros(3))
+        np.testing.assert_array_equal(out[1], np.full(3, 2.0))
+
+    def test_all_bags_empty(self):
+        values = np.zeros((0, 5), dtype=np.float32)
+        offsets = np.zeros(4, dtype=np.int64)
+        out = segment_sum(values, offsets)
+        np.testing.assert_array_equal(out, np.zeros((3, 5)))
+
+    def test_zero_bags(self):
+        values = np.zeros((0, 5), dtype=np.float32)
+        offsets = np.zeros(1, dtype=np.int64)
+        assert segment_sum(values, offsets).shape == (0, 5)
+
+    def test_out_parameter_reused_and_cleared(self):
+        rng = np.random.default_rng(1)
+        values, offsets = random_jagged(rng, 20, 5, 4)
+        out = np.full((20, 4), 7.0, dtype=np.float32)
+        result = segment_sum(values, offsets, out=out)
+        assert result is out
+        assert_close(out, reference_segment_sum(values, offsets))
+
+    def test_randomized_with_empties(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            values, offsets = random_jagged(rng, int(rng.integers(1, 40)),
+                                            7, 3, empty_prob=0.4)
+            assert_close(segment_sum(values, offsets),
+                         reference_segment_sum(values, offsets))
+
+
+class TestSegmentSumGather:
+    def test_bitwise_equals_unfused_gather_then_sum(self):
+        rng = np.random.default_rng(3)
+        storage = rng.normal(size=(500, 16)).astype(np.float32)
+        _, offsets = random_jagged(rng, 200, 40, 1, empty_prob=0.1)
+        indices = rng.integers(0, 500, size=int(offsets[-1]))
+        expected = segment_sum(storage[indices], offsets)
+        np.testing.assert_array_equal(
+            segment_sum_gather(storage, indices, offsets), expected)
+
+    @pytest.mark.parametrize("tile_rows", [1, 3, 17, 64, 10_000])
+    def test_tile_size_invariance(self, tile_rows):
+        # Tiles snap to whole-bag boundaries, so any tile size gives the
+        # same bits — including tiles smaller than a single bag.
+        rng = np.random.default_rng(4)
+        storage = rng.normal(size=(100, 8)).astype(np.float32)
+        _, offsets = random_jagged(rng, 60, 12, 1, empty_prob=0.25)
+        indices = rng.integers(0, 100, size=int(offsets[-1]))
+        expected = segment_sum(storage[indices], offsets)
+        np.testing.assert_array_equal(
+            segment_sum_gather(storage, indices, offsets,
+                               tile_rows=tile_rows), expected)
+
+    def test_empty_bags_inside_tile(self):
+        storage = np.arange(20, dtype=np.float32).reshape(10, 2)
+        indices = np.array([1, 2, 9], dtype=np.int64)
+        offsets = np.array([0, 2, 2, 3, 3], dtype=np.int64)
+        out = segment_sum_gather(storage, indices, offsets, tile_rows=4)
+        np.testing.assert_array_equal(
+            out, segment_sum(storage[indices], offsets))
+
+    def test_all_empty(self):
+        storage = np.ones((5, 3), dtype=np.float32)
+        out = segment_sum_gather(storage, np.zeros(0, dtype=np.int64),
+                                 np.zeros(4, dtype=np.int64))
+        np.testing.assert_array_equal(out, np.zeros((3, 3)))
+
+    def test_zero_bags(self):
+        storage = np.ones((5, 3), dtype=np.float32)
+        out = segment_sum_gather(storage, np.zeros(0, dtype=np.int64),
+                                 np.zeros(1, dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_split_invariance_concat_vs_solo(self):
+        # The arena's parity foundation: pooling a table's bags inside a
+        # concatenated multi-table batch gives the same bits as pooling
+        # them alone.
+        rng = np.random.default_rng(5)
+        storage = rng.normal(size=(300, 16)).astype(np.float32)
+        batches = []
+        for seed in range(3):
+            r = np.random.default_rng(seed)
+            _, offsets = random_jagged(r, 30, 20, 1, empty_prob=0.1)
+            indices = r.integers(0, 300, size=int(offsets[-1]))
+            batches.append((indices, offsets))
+        solo = [segment_sum_gather(storage, idx, off)
+                for idx, off in batches]
+        gidx, goff, _ = rebase_jagged(batches, [0, 0, 0])
+        fused = segment_sum_gather(storage, gidx, goff)
+        bag = 0
+        for s in solo:
+            np.testing.assert_array_equal(fused[bag:bag + len(s)], s)
+            bag += len(s)
+
+
+class TestSegmentMean:
+    def test_matches_sum_divided_by_lengths(self):
+        rng = np.random.default_rng(6)
+        values, offsets = random_jagged(rng, 30, 6, 4, empty_prob=0.2)
+        lengths = np.diff(offsets)
+        expected = reference_segment_sum(values, offsets)
+        expected /= np.maximum(lengths, 1).astype(np.float32)[:, None]
+        assert_close(segment_mean(values, offsets), expected)
+
+    def test_empty_bags_stay_zero(self):
+        values = np.ones((2, 3), dtype=np.float32)
+        offsets = np.array([0, 0, 2], dtype=np.int64)
+        out = segment_mean(values, offsets)
+        np.testing.assert_array_equal(out[0], np.zeros(3))
+        np.testing.assert_array_equal(out[1], np.ones(3))
+
+
+class TestExpandBagIds:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            expand_bag_ids(np.array([2, 0, 3])),
+            np.array([0, 0, 2, 2, 2], dtype=np.int64))
+
+    def test_empty(self):
+        assert len(expand_bag_ids(np.zeros(0, dtype=np.int64))) == 0
+
+
+class TestRebaseJagged:
+    def test_two_tables(self):
+        a = (np.array([0, 1, 2]), np.array([0, 1, 3]))
+        b = (np.array([0, 4]), np.array([0, 0, 2]))
+        gidx, goff, counts = rebase_jagged([a, b], [0, 10])
+        np.testing.assert_array_equal(gidx, [0, 1, 2, 10, 14])
+        np.testing.assert_array_equal(goff, [0, 1, 3, 3, 5])
+        np.testing.assert_array_equal(counts, [3, 2])
+
+    def test_does_not_mutate_inputs(self):
+        idx = np.array([1, 2], dtype=np.int64)
+        rebase_jagged([(idx, np.array([0, 2]))], [100])
+        np.testing.assert_array_equal(idx, [1, 2])
+
+    def test_empty_input_list(self):
+        gidx, goff, counts = rebase_jagged([], [])
+        assert len(gidx) == 0 and len(counts) == 0
+        np.testing.assert_array_equal(goff, [0])
+
+    def test_mismatched_bases_raises(self):
+        with pytest.raises(ValueError):
+            rebase_jagged([(np.array([0]), np.array([0, 1]))], [0, 1])
+
+
+class TestMergeSortedCoo:
+    def test_sums_duplicates(self):
+        rows = np.array([3, 1, 3, 1, 2], dtype=np.int64)
+        vals = np.arange(10, dtype=np.float32).reshape(5, 2)
+        m_rows, m_vals = merge_sorted_coo(rows, vals)
+        np.testing.assert_array_equal(m_rows, [1, 2, 3])
+        np.testing.assert_array_equal(m_vals[0], vals[1] + vals[3])
+        np.testing.assert_array_equal(m_vals[1], vals[4])
+        np.testing.assert_array_equal(m_vals[2], vals[0] + vals[2])
+
+    def test_order_independence(self):
+        # Value-column tie-breakers make the result a pure function of the
+        # (row, grad) multiset — Section 4.1.2 determinism.
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 5, size=200)
+        vals = rng.normal(size=(200, 4)).astype(np.float32)
+        base_r, base_v = merge_sorted_coo(rows, vals)
+        for seed in range(5):
+            perm = np.random.default_rng(seed).permutation(200)
+            r, v = merge_sorted_coo(rows[perm], vals[perm])
+            np.testing.assert_array_equal(r, base_r)
+            np.testing.assert_array_equal(v, base_v)
+
+    def test_empty(self):
+        r, v = merge_sorted_coo(np.zeros(0, dtype=np.int64),
+                                np.zeros((0, 3), dtype=np.float32))
+        assert len(r) == 0 and v.shape == (0, 3)
+
+    def test_segmented_merge_bitwise_equals_global(self):
+        # Disjoint increasing row ranges per segment (the arena's
+        # table-major layout): segment-wise merge must give the same bits
+        # as one global merge.
+        rng = np.random.default_rng(8)
+        rows_parts, vals_parts, offsets = [], [], [0]
+        base = 0
+        for _ in range(4):
+            n = int(rng.integers(0, 60))
+            rows_parts.append(base + rng.integers(0, 10, size=n))
+            vals_parts.append(rng.normal(size=(n, 3)).astype(np.float32))
+            offsets.append(offsets[-1] + n)
+            base += 10
+        rows = np.concatenate(rows_parts)
+        vals = np.concatenate(vals_parts, axis=0)
+        g_rows, g_vals = merge_sorted_coo(rows, vals)
+        s_rows, s_vals = merge_sorted_coo(
+            rows, vals, segment_offsets=np.array(offsets, dtype=np.int64))
+        np.testing.assert_array_equal(s_rows, g_rows)
+        np.testing.assert_array_equal(s_vals, g_vals)
