@@ -100,7 +100,7 @@ def test_twrw_vs_flat_rw(benchmark, report):
         # output ships via the normal table-wise AlltoAll
         one_node = ClusterTopology(num_nodes=1)
         twrw = cpm.reduce_scatter_time(payload, one_node) \
-            + cpm.alltoall_time(payload / one_node.gpus_per_node, cluster)
+            + cpm.all_to_all_time(payload / one_node.gpus_per_node, cluster)
         return flat, twrw
 
     flat, twrw = benchmark(run)

@@ -14,8 +14,8 @@ import pytest
 
 from repro.comms import PROTOTYPE_TOPOLOGY
 from repro.comms import collectives as C
-from repro.comms.perf_model import (achieved_allreduce_bw,
-                                    achieved_alltoall_bw)
+from repro.comms.perf_model import (achieved_all_reduce_bw,
+                                    achieved_all_to_all_bw)
 
 SIZES = [2 ** k for k in range(16, 29, 2)]  # 64 KB .. 256 MB
 
@@ -23,8 +23,8 @@ SIZES = [2 ** k for k in range(16, 29, 2)]  # 64 KB .. 256 MB
 def bandwidth_table():
     topo = PROTOTYPE_TOPOLOGY(16)
     return [(size,
-             round(achieved_alltoall_bw(size, topo) / 1e9, 2),
-             round(achieved_allreduce_bw(size, topo) / 1e9, 2))
+             round(achieved_all_to_all_bw(size, topo) / 1e9, 2),
+             round(achieved_all_reduce_bw(size, topo) / 1e9, 2))
             for size in SIZES]
 
 

@@ -12,6 +12,7 @@ Layering (bottom-up):
 * :mod:`repro.data` — synthetic CTR data + ingestion pipeline
 * :mod:`repro.models` — DLRM assembly + the A1/A2/A3/F1 model zoo
 * :mod:`repro.core` — the Neo trainer and the Eq. 1 pipeline model
+* :mod:`repro.resilience` — fault injection, retries, crash recovery
 * :mod:`repro.perf` — device rooflines and end-to-end throughput model
 * :mod:`repro.baselines` — async parameter-server and Zion comparisons
 * :mod:`repro.metrics` — normalized entropy et al.
@@ -28,6 +29,7 @@ __all__ = [
     "data",
     "models",
     "core",
+    "resilience",
     "perf",
     "baselines",
     "metrics",

@@ -25,8 +25,8 @@ def selfcheck() -> int:
     import repro
     from repro import nn
     from repro.comms import PROTOTYPE_TOPOLOGY, ClusterTopology
-    from repro.comms.perf_model import (achieved_allreduce_bw,
-                                        achieved_alltoall_bw)
+    from repro.comms.perf_model import (achieved_all_reduce_bw,
+                                        achieved_all_to_all_bw)
     from repro.core import NeoTrainer
     from repro.data import SyntheticCTRDataset
     from repro.embedding import EmbeddingTableConfig, SparseAdaGrad
@@ -48,8 +48,8 @@ def selfcheck() -> int:
 
     # 1. comms calibration anchors (Section 5.1)
     topo = PROTOTYPE_TOPOLOGY(16)
-    a2a = achieved_alltoall_bw(256e6, topo) / 1e9
-    ar = achieved_allreduce_bw(256e6, topo) / 1e9
+    a2a = achieved_all_to_all_bw(256e6, topo) / 1e9
+    ar = achieved_all_reduce_bw(256e6, topo) / 1e9
     check("AlltoAll calibration", abs(a2a - 7.0) < 1.5,
           f"{a2a:.1f} GB/s (paper: ~7)")
     check("AllReduce calibration", abs(ar - 60.0) < 10,

@@ -79,8 +79,8 @@ def zion_iteration_time(setup: ZionSetup) -> float:
     if setup.num_nodes > 1:
         topo = replace(ZION_TOPOLOGY(setup.num_nodes),
                        gpus_per_node=setup.gpus_per_node)
-        t_sync = cpm.allreduce_time(spec.num_mlp_parameters * 4, topo) \
-            + 2 * cpm.alltoall_time(b_loc * sum_d * 4, topo)
+        t_sync = cpm.all_reduce_time(spec.num_mlp_parameters * 4, topo) \
+            + 2 * cpm.all_to_all_time(b_loc * sum_d * 4, topo)
     # hybrid pipelining hides some CPU work under GPU compute, but the
     # PCIe hop and host-mediated sync stay serialized
     return max(t_mlp, t_emb) + t_pcie + t_sync

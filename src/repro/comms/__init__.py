@@ -1,9 +1,19 @@
 """Communication layer: exact simulated collectives, wire quantization,
-cluster topology and the alpha-beta latency model (paper Sections 4.5, 5.1)."""
+cluster topology and the alpha-beta latency model (paper Sections 4.5, 5.1).
+
+The v2 process-group surface is re-exported here: typed AlltoAll dispatch
+(:class:`AlltoAllKind`), accounting-carrying returns
+(:class:`CollectiveResult`) and the snake-case latency-model names
+(``perf_model.all_to_all_time`` et al.). Deprecated pre-v2 forms (string
+``direction=`` dispatch, ``perf_model.alltoall_time``-style names) keep
+working with a :class:`DeprecationWarning`; see ``docs/observability.md``
+for the deprecation timeline.
+"""
 
 from . import collectives, param_bench, perf_model
 from .bucketing import Bucket, GradientBucketer
-from .process_group import CommsLog, SimProcessGroup
+from .process_group import (AlltoAllKind, CollectiveResult, CommsLog,
+                            SimProcessGroup)
 from .quantization import CODECS, QuantizedCommsConfig, get_codec, wire_bytes
 from .topology import PROTOTYPE_TOPOLOGY, ZION_TOPOLOGY, ClusterTopology
 
@@ -11,6 +21,8 @@ __all__ = [
     "collectives",
     "perf_model",
     "param_bench",
+    "AlltoAllKind",
+    "CollectiveResult",
     "SimProcessGroup",
     "CommsLog",
     "GradientBucketer",

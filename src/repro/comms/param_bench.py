@@ -27,11 +27,11 @@ __all__ = ["BenchRow", "bench_mode", "CommsTrace", "trace_from_log",
            "replay_mode"]
 
 _COLLECTIVE_TIMES = {
-    "all_to_all": perf_model.alltoall_time,
-    "all_reduce": perf_model.allreduce_time,
+    "all_to_all": perf_model.all_to_all_time,
+    "all_reduce": perf_model.all_reduce_time,
     "reduce_scatter": perf_model.reduce_scatter_time,
-    "all_gather": perf_model.allgather_time,
-    "broadcast": perf_model.allgather_time,
+    "all_gather": perf_model.all_gather_time,
+    "broadcast": perf_model.broadcast_time,
 }
 
 

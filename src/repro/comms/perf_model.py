@@ -11,23 +11,36 @@ Calibration targets from the paper (Section 5.1 / Appendix A, 128 GPUs):
   NIC (12.5 GB/s line rate, 10.5 GB/s achievable) and all-to-all incast.
 * AllReduce of 256 MB achieves ~60 GB/s bus bandwidth — higher because the
   hierarchical algorithm rides NVLink for the intra-node phases.
+
+Naming (v2): every entry point is named after the collective it models,
+with the same word boundaries as :mod:`repro.comms.collectives` —
+``all_to_all_time`` pairs with ``collectives.all_to_all`` and so on. The
+pre-v2 smashed-together names (``alltoall_time``, ``allreduce_time``,
+``allgather_time``, ``achieved_alltoall_bw``, ``achieved_allreduce_bw``)
+remain as thin deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Callable
+
 from .topology import ClusterTopology
 
-__all__ = ["alltoall_time", "allreduce_time", "reduce_scatter_time",
-           "allgather_time", "flat_reduce_scatter_time",
-           "achieved_alltoall_bw", "achieved_allreduce_bw",
-           "ALLTOALL_INCAST_EFFICIENCY"]
+__all__ = ["all_to_all_time", "all_reduce_time", "reduce_scatter_time",
+           "all_gather_time", "broadcast_time", "flat_reduce_scatter_time",
+           "achieved_all_to_all_bw", "achieved_all_reduce_bw",
+           "ALLTOALL_INCAST_EFFICIENCY",
+           # deprecated aliases (pre-v2 names)
+           "alltoall_time", "allreduce_time", "allgather_time",
+           "achieved_alltoall_bw", "achieved_allreduce_bw"]
 
 # fraction of achievable NIC bandwidth an all-to-all traffic pattern
 # sustains (incast/congestion); calibrated to the paper's 7 GB/s at 256 MB
 ALLTOALL_INCAST_EFFICIENCY = 0.67
 
 
-def alltoall_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
+def all_to_all_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
     """Time for an AlltoAll where each GPU exchanges ``bytes_per_gpu``.
 
     Each GPU sends ``(W-1)/W`` of its buffer away; the off-node fraction
@@ -53,7 +66,7 @@ def alltoall_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
     return max(t_net, t_nvlink) + alpha
 
 
-def allreduce_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
+def all_reduce_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
     """Hierarchical ring AllReduce: intra-node reduce-scatter (NVLink),
     inter-node ring AllReduce on 1/G of the buffer (RoCE), intra-node
     all-gather (NVLink)."""
@@ -90,9 +103,34 @@ def reduce_scatter_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
     return t_intra + t_inter + alpha
 
 
-def allgather_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
+def all_gather_time(bytes_per_gpu: float, topo: ClusterTopology) -> float:
     """AllGather mirrors ReduceScatter's movement pattern."""
     return reduce_scatter_time(bytes_per_gpu, topo)
+
+
+def broadcast_time(payload_bytes: float, topo: ClusterTopology) -> float:
+    """Two-level pipelined broadcast of ``payload_bytes`` from the root.
+
+    The root's node leader forwards the full buffer around the inter-node
+    ring (pipelined, so ``(N-1)/N`` of the buffer is exposed), then each
+    node fans out over NVLink. Unlike AllGather — whose inter-node phase
+    only moves the per-GPU chunk — the *whole* payload crosses the
+    scale-out fabric, which is why broadcast deserved its own entry
+    rather than riding ``all_gather_time``.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    w = topo.world_size
+    if w == 1:
+        return 0.0
+    g = min(topo.gpus_per_node, w)
+    n = topo.num_nodes
+    t_inter = 0.0
+    if n > 1:
+        t_inter = payload_bytes * (n - 1) / n / topo.achievable_scaleout_bw
+    t_intra = payload_bytes * (g - 1) / g / topo.scaleup_bw
+    alpha = (g - 1) * topo.scaleup_latency + (n - 1) * topo.scaleout_latency
+    return t_inter + t_intra + alpha
 
 
 def flat_reduce_scatter_time(bytes_per_gpu: float,
@@ -113,18 +151,41 @@ def flat_reduce_scatter_time(bytes_per_gpu: float,
     return t_ring + (w - 1) * topo.scaleout_latency
 
 
-def achieved_alltoall_bw(bytes_per_gpu: float,
-                         topo: ClusterTopology) -> float:
+def achieved_all_to_all_bw(bytes_per_gpu: float,
+                           topo: ClusterTopology) -> float:
     """NCCL-tests-style achieved bandwidth: buffer size / time."""
-    t = alltoall_time(bytes_per_gpu, topo)
+    t = all_to_all_time(bytes_per_gpu, topo)
     return bytes_per_gpu / t if t > 0 else float("inf")
 
 
-def achieved_allreduce_bw(bytes_per_gpu: float,
-                          topo: ClusterTopology) -> float:
+def achieved_all_reduce_bw(bytes_per_gpu: float,
+                           topo: ClusterTopology) -> float:
     """Bus bandwidth: ``2 (W-1)/W * size / time`` (NCCL convention)."""
     w = topo.world_size
-    t = allreduce_time(bytes_per_gpu, topo)
+    t = all_reduce_time(bytes_per_gpu, topo)
     if t <= 0:
         return float("inf")
     return 2 * (w - 1) / w * bytes_per_gpu / t
+
+
+def _deprecated_alias(new_fn: Callable[..., float],
+                      old_name: str) -> Callable[..., float]:
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"repro.comms.perf_model.{old_name} is deprecated; use "
+            f"{new_fn.__name__} (same signature)", DeprecationWarning,
+            stacklevel=2)
+        return new_fn(*args, **kwargs)
+    wrapper.__name__ = old_name
+    wrapper.__qualname__ = old_name
+    wrapper.__doc__ = f"Deprecated alias of :func:`{new_fn.__name__}`."
+    return wrapper
+
+
+alltoall_time = _deprecated_alias(all_to_all_time, "alltoall_time")
+allreduce_time = _deprecated_alias(all_reduce_time, "allreduce_time")
+allgather_time = _deprecated_alias(all_gather_time, "allgather_time")
+achieved_alltoall_bw = _deprecated_alias(achieved_all_to_all_bw,
+                                         "achieved_alltoall_bw")
+achieved_allreduce_bw = _deprecated_alias(achieved_all_reduce_bw,
+                                          "achieved_allreduce_bw")

@@ -16,6 +16,21 @@ carrying its byte/latency attribution — so a traced run reports, per
 collective kind, exactly the traffic the legacy :class:`CommsLog`
 accessors aggregate.
 
+The v2 surface (this module) differs from the original in three ways:
+
+* AlltoAll flavours are selected with the typed :class:`AlltoAllKind`
+  enum. The old ``direction="forward_alltoall"`` string form still works
+  but emits a :class:`DeprecationWarning`.
+* Every collective returns a :class:`CollectiveResult` carrying the
+  outputs *and* the accounting (wire bytes, modeled seconds) of that
+  call, so callers no longer re-derive byte counts from payload shapes.
+  ``CollectiveResult`` is a sequence over its outputs, so pre-v2 callers
+  that indexed or iterated the return value keep working unchanged.
+* Byte accounting never hard-codes an element width: float payloads are
+  billed at the configured wire precision and everything else at the
+  arrays' true ``nbytes`` (``reduce_scatter`` / ``all_gather`` /
+  ``broadcast`` previously assumed 4 bytes/element).
+
 Byte-accounting conventions (audited for the sliced-gradient AlltoAll
 paths of column-wise sharding):
 
@@ -25,10 +40,11 @@ paths of column-wise sharding):
   counts exactly ``sum(slice sizes)``; for a column-wise table that is
   ``sum(shard_cols) * batch`` elements per iteration, however the columns
   were cut.
-* Index payloads (the ``direction="index"`` AlltoAll) are counted from
-  the arrays' real ``nbytes`` — ids are int64 today, but the accounting
-  no longer hard-codes 8 bytes/element, so int32 ids would be billed
-  correctly too.
+* Index payloads (the :attr:`AlltoAllKind.INDEX` AlltoAll) and the
+  unquantized collectives (``reduce_scatter`` / ``all_gather`` /
+  ``broadcast``) are counted from the arrays' real ``nbytes`` — an fp16
+  or int32 payload is billed at 2 or 4 bytes per element, not a
+  hard-coded width.
 * Self-sends (rank r -> rank r) are included, matching the analytical
   model in :mod:`repro.comms.perf_model` and the paper's Fig. 20
   convention of quoting full AlltoAll volume.
@@ -36,7 +52,11 @@ paths of column-wise sharding):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -46,7 +66,72 @@ from . import collectives, perf_model
 from .quantization import QuantizedCommsConfig, wire_bytes
 from .topology import ClusterTopology
 
-__all__ = ["CommsLog", "SimProcessGroup"]
+__all__ = ["AlltoAllKind", "CollectiveResult", "CommsLog",
+           "SimProcessGroup"]
+
+
+class AlltoAllKind(Enum):
+    """Typed dispatch for the three AlltoAll flavours (v2 API).
+
+    Replaces the pre-v2 ``direction=`` string argument; the enum values
+    are the historical strings so metric/span labels are unchanged.
+    """
+
+    FORWARD = "forward_alltoall"
+    BACKWARD = "backward_alltoall"
+    INDEX = "index"
+
+
+def _coerce_alltoall_kind(kind: Union[AlltoAllKind, str],
+                          direction: Optional[str]) -> AlltoAllKind:
+    """Normalize the v2 ``kind`` / deprecated ``direction`` arguments."""
+    if direction is not None:
+        warnings.warn(
+            "all_to_all(direction=...) is deprecated; pass "
+            "kind=AlltoAllKind.FORWARD / .BACKWARD / .INDEX instead",
+            DeprecationWarning, stacklevel=3)
+        kind = direction
+    if isinstance(kind, AlltoAllKind):
+        return kind
+    if direction is None:
+        # string passed through the new parameter (positionally or as
+        # kind="..."): still works, still deprecated
+        warnings.warn(
+            f"string AlltoAll dispatch ({kind!r}) is deprecated; pass "
+            "kind=AlltoAllKind.FORWARD / .BACKWARD / .INDEX instead",
+            DeprecationWarning, stacklevel=3)
+    try:
+        return AlltoAllKind(kind)
+    except ValueError:
+        raise ValueError(
+            f"unknown direction {kind!r}; expected one of "
+            f"{[k.value for k in AlltoAllKind]}") from None
+
+
+@dataclass
+class CollectiveResult(Sequence):
+    """One collective's outputs plus its accounting (v2 API).
+
+    ``outputs`` is the per-rank result list the functional collectives
+    produce; ``wire_bytes`` and ``modeled_seconds`` are exactly what the
+    process group recorded for this call, so callers need not re-derive
+    traffic from payload shapes. The object is a sequence over
+    ``outputs`` (indexing, iteration, ``len``) as a thin
+    backward-compat shim for pre-v2 callers that treated the return
+    value as the output list itself.
+    """
+
+    outputs: List[Any]
+    collective: str = ""
+    wire_bytes: int = 0
+    modeled_seconds: float = 0.0
+    per_rank_seconds: List[float] = field(default_factory=list)
+
+    def __getitem__(self, index):
+        return self.outputs[index]
+
+    def __len__(self) -> int:
+        return len(self.outputs)
 
 
 class CommsLog:
@@ -125,7 +210,16 @@ class SimProcessGroup:
             self.registry = registry
             self.log = CommsLog(registry.scope("comms"))
 
-    def _check_world(self, inputs: list, name: str) -> None:
+    def on_iteration_start(self, step: int) -> None:
+        """Iteration-boundary hook (v2 API).
+
+        The trainer announces the logical step before issuing any of an
+        iteration's collectives; the base group ignores it, wrappers
+        (:class:`repro.resilience.FaultyProcessGroup`) key scheduled
+        faults on it.
+        """
+
+    def _check_world(self, inputs: Sequence, name: str) -> None:
         if len(inputs) != self.world_size:
             raise ValueError(
                 f"{name} expects one input per rank "
@@ -134,38 +228,52 @@ class SimProcessGroup:
     def _record(self, name: str, total_wire: float, seconds: float) -> None:
         self.log.record(name, total_wire, seconds)
 
+    def _execute(self, name: str, inputs: Sequence, total_wire: float,
+                 seconds: float, fn: Callable[[], list]) -> CollectiveResult:
+        """Run one collective under a span and record its accounting.
+
+        Every public collective funnels through here, so a wrapper can
+        intercept a single method to adjust modeled time, fail attempts,
+        or kill ranks (:class:`repro.resilience.FaultyProcessGroup`
+        overrides this).
+        """
+        with self.tracer.span(f"comms.{name}", cat="comms",
+                              wire_bytes=total_wire,
+                              modeled_seconds=seconds):
+            out = fn()
+        self._record(name, total_wire, seconds)
+        return CollectiveResult(outputs=out, collective=name,
+                                wire_bytes=int(total_wire),
+                                modeled_seconds=seconds)
+
     # ------------------------------------------------------------------
-    def all_reduce(self, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    def all_reduce(self, inputs: List[np.ndarray]) -> CollectiveResult:
         self._check_world(inputs, "all_reduce")
         precision = self.comms_config.allreduce
         per_gpu = wire_bytes(int(inputs[0].size), precision)
-        seconds = perf_model.allreduce_time(per_gpu, self.topology)
+        seconds = perf_model.all_reduce_time(per_gpu, self.topology)
         total_wire = per_gpu * self.world_size
-        with self.tracer.span("comms.all_reduce", cat="comms",
-                              wire_bytes=total_wire,
-                              modeled_seconds=seconds):
-            out = collectives.all_reduce(
-                inputs, codec=self.comms_config.allreduce_codec())
-        self._record("all_reduce", total_wire, seconds)
-        return out
+        return self._execute(
+            "all_reduce", inputs, total_wire, seconds,
+            lambda: collectives.all_reduce(
+                inputs, codec=self.comms_config.allreduce_codec()))
 
     def all_to_all(self, inputs: List[List[np.ndarray]],
-                   direction: str = "forward_alltoall"
-                   ) -> List[List[np.ndarray]]:
+                   kind: Union[AlltoAllKind, str] = AlltoAllKind.FORWARD,
+                   *, direction: Optional[str] = None) -> CollectiveResult:
         self._check_world(inputs, "all_to_all")
-        if direction == "forward_alltoall":
+        kind = _coerce_alltoall_kind(kind, direction)
+        if kind is AlltoAllKind.FORWARD:
             codec = self.comms_config.forward_codec()
             precision = self.comms_config.forward_alltoall
-        elif direction == "backward_alltoall":
+        elif kind is AlltoAllKind.BACKWARD:
             codec = self.comms_config.backward_codec()
             precision = self.comms_config.backward_alltoall
-        elif direction == "index":
+        else:
             # index redistribution is integer data: never quantized
             codec = None
             precision = None
-        else:
-            raise ValueError(f"unknown direction {direction!r}")
-        if direction == "index":
+        if kind is AlltoAllKind.INDEX:
             # integer payloads are billed at their true width (ids are
             # int64 today; nbytes keeps this honest if that ever changes)
             total_wire = sum(int(np.asarray(x).nbytes) for row in inputs
@@ -177,52 +285,40 @@ class SimProcessGroup:
                               for x in row)
             total_wire = wire_bytes(total_elems, precision)
         per_gpu = total_wire / max(self.world_size, 1)
-        seconds = perf_model.alltoall_time(per_gpu, self.topology)
-        name = f"all_to_all/{direction}"
-        with self.tracer.span(f"comms.{name}", cat="comms",
-                              wire_bytes=total_wire,
-                              modeled_seconds=seconds):
-            out = collectives.all_to_all(inputs, codec=codec)
-        self._record(name, total_wire, seconds)
-        return out
+        seconds = perf_model.all_to_all_time(per_gpu, self.topology)
+        name = f"all_to_all/{kind.value}"
+        return self._execute(
+            name, inputs, total_wire, seconds,
+            lambda: collectives.all_to_all(inputs, codec=codec))
 
     def reduce_scatter(self, inputs: List[List[np.ndarray]]
-                       ) -> List[np.ndarray]:
+                       ) -> CollectiveResult:
         self._check_world(inputs, "reduce_scatter")
-        per_gpu = sum(int(np.asarray(x).size) for x in inputs[0]) * 4
+        per_gpu = sum(int(np.asarray(x).nbytes) for x in inputs[0])
         seconds = perf_model.reduce_scatter_time(per_gpu, self.topology)
         total_wire = per_gpu * self.world_size
-        with self.tracer.span("comms.reduce_scatter", cat="comms",
-                              wire_bytes=total_wire,
-                              modeled_seconds=seconds):
-            out = collectives.reduce_scatter(inputs)
-        self._record("reduce_scatter", total_wire, seconds)
-        return out
+        return self._execute(
+            "reduce_scatter", inputs, total_wire, seconds,
+            lambda: collectives.reduce_scatter(inputs))
 
-    def all_gather(self, inputs: List[np.ndarray]) -> List[List[np.ndarray]]:
+    def all_gather(self, inputs: List[np.ndarray]) -> CollectiveResult:
         self._check_world(inputs, "all_gather")
-        per_gpu = int(np.asarray(inputs[0]).size) * 4
-        seconds = perf_model.allgather_time(per_gpu, self.topology)
+        per_gpu = int(np.asarray(inputs[0]).nbytes)
+        seconds = perf_model.all_gather_time(per_gpu, self.topology)
         total_wire = per_gpu * self.world_size
-        with self.tracer.span("comms.all_gather", cat="comms",
-                              wire_bytes=total_wire,
-                              modeled_seconds=seconds):
-            out = collectives.all_gather(inputs)
-        self._record("all_gather", total_wire, seconds)
-        return out
+        return self._execute(
+            "all_gather", inputs, total_wire, seconds,
+            lambda: collectives.all_gather(inputs))
 
     def broadcast(self, inputs: List[np.ndarray],
-                  root: int = 0) -> List[np.ndarray]:
+                  root: int = 0) -> CollectiveResult:
         self._check_world(inputs, "broadcast")
-        per_gpu = int(np.asarray(inputs[root]).size) * 4
-        seconds = perf_model.allgather_time(per_gpu, self.topology)
-        total_wire = per_gpu * self.world_size
-        with self.tracer.span("comms.broadcast", cat="comms",
-                              wire_bytes=total_wire,
-                              modeled_seconds=seconds):
-            out = collectives.broadcast(inputs, root=root)
-        self._record("broadcast", total_wire, seconds)
-        return out
+        payload = int(np.asarray(inputs[root]).nbytes)
+        seconds = perf_model.broadcast_time(payload, self.topology)
+        total_wire = payload * self.world_size
+        return self._execute(
+            "broadcast", inputs, total_wire, seconds,
+            lambda: collectives.broadcast(inputs, root=root))
 
     def reset_log(self) -> None:
         self.log.reset()

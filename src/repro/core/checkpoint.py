@@ -7,7 +7,10 @@ rows touched since the last checkpoint) and *quantized* storage. Both are
 reproduced here on top of the Neo trainer:
 
 * :class:`CheckpointManager` — full save/load of trainer state (dense
-  replicas + optimizer state + every embedding shard) with exact resume;
+  replicas + dense optimizer state + every embedding shard) with exact
+  resume — exact enough that a recovery restoring the original world
+  size continues *bitwise identically* to an uninterrupted run
+  (asserted by ``tests/test_resilience_recovery.py``);
 * differential mode — per-shard dirty-row tracking writes only rows whose
   values changed since the previous checkpoint;
 * optional FP16 quantization of the stored embedding payload.
@@ -82,9 +85,12 @@ class CheckpointManager:
         """Write a checkpoint of the trainer's current state."""
         payload: Dict[str, np.ndarray] = {
             "__step__": np.array([trainer.steps], dtype=np.int64)}
-        # dense parameters (replicas are identical; rank 0 suffices)
+        # dense parameters and optimizer state (momentum buffers, Adam
+        # moments, ...); replicas are identical, so rank 0 suffices
         for i, p in enumerate(trainer.ranks[0].dense_parameters()):
             payload[f"dense/{i}"] = p.data
+            for key, value in trainer.ranks[0].dense_opt.state_for(p).items():
+                payload[f"opt/{i}/{key}"] = np.asarray(value)
         # embedding tables, gathered from shards
         full_rows = 0
         written_rows = 0
@@ -157,6 +163,7 @@ class CheckpointManager:
         chain = [s for s in steps if s <= target]
         tables: Dict[str, np.ndarray] = {}
         dense: Dict[int, np.ndarray] = {}
+        opt_state: Dict[int, Dict[str, np.ndarray]] = {}
         restored_step = 0
         for s in chain:
             with np.load(self._path(s)) as data:
@@ -164,6 +171,9 @@ class CheckpointManager:
                 for key in data.files:
                     if key.startswith("dense/"):
                         dense[int(key.split("/")[1])] = data[key]
+                    elif key.startswith("opt/"):
+                        _, idx, name = key.split("/", 2)
+                        opt_state.setdefault(int(idx), {})[name] = data[key]
                 for t in trainer.config.tables:
                     rows = data[f"emb/{t.name}/rows"]
                     values = data[f"emb/{t.name}/values"].astype(np.float32)
@@ -172,10 +182,16 @@ class CheckpointManager:
                             (t.num_embeddings, t.embedding_dim),
                             dtype=np.float32)
                     tables[t.name][rows] = values
-        # write back into every rank's replica and every shard
+        # write back into every rank's replica and every shard; optimizer
+        # state is replaced wholesale so a momentum/Adam resume is exact
+        # (checkpoints predating opt-state capture simply reset it)
         for state in trainer.ranks:
             for i, p in enumerate(state.dense_parameters()):
                 p.data = dense[i].copy()
+                slot = state.dense_opt.state_for(p)
+                slot.clear()
+                for name, value in opt_state.get(i, {}).items():
+                    slot[name] = value.copy()
         for t in trainer.config.tables:
             table_plan = trainer.plan.tables[t.name]
             for shard in table_plan.shards:

@@ -37,7 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
-from ..comms import ClusterTopology, QuantizedCommsConfig, SimProcessGroup
+from ..comms import (AlltoAllKind, ClusterTopology, QuantizedCommsConfig,
+                     SimProcessGroup)
 from ..comms.bucketing import GradientBucketer
 from ..data.datagen import MiniBatch
 from ..data.kernels import bucketize_sparse
@@ -88,7 +89,9 @@ class NeoTrainer:
                  sparse_optimizer: SparseOptimizer,
                  comms_config: Optional[QuantizedCommsConfig] = None,
                  seed: int = 0, trace=None,
-                 metrics: Optional[MetricRegistry] = None) -> None:
+                 metrics: Optional[MetricRegistry] = None,
+                 process_group_factory: Optional[
+                     Callable[..., SimProcessGroup]] = None) -> None:
         if plan.world_size != topology.world_size:
             raise ValueError(
                 f"plan world size {plan.world_size} != topology world size "
@@ -110,8 +113,13 @@ class NeoTrainer:
         # Tracer, True (wall clock) or a clock name ("wall"/"logical")
         self.tracer = as_tracer(trace)
         self.metrics = metrics if metrics is not None else MetricRegistry()
-        self.pg = SimProcessGroup(topology, comms_config,
-                                  registry=self.metrics, tracer=self.tracer)
+        # the factory hook lets callers substitute a wrapped group — e.g.
+        # repro.resilience.FaultyProcessGroup for fault-injection runs —
+        # without the trainer knowing anything about faults
+        make_pg = process_group_factory if process_group_factory is not None \
+            else SimProcessGroup
+        self.pg = make_pg(topology, comms_config,
+                          registry=self.metrics, tracer=self.tracer)
         self.world_size = plan.world_size
         self.sparse_opt = sparse_optimizer
         self.steps = 0
@@ -156,7 +164,9 @@ class NeoTrainer:
                      planner_config=None,
                      device_memory_bytes: Optional[float] = None,
                      trace=None,
-                     metrics: Optional[MetricRegistry] = None
+                     metrics: Optional[MetricRegistry] = None,
+                     process_group_factory: Optional[
+                         Callable[..., SimProcessGroup]] = None
                      ) -> "NeoTrainer":
         """Build a trainer with an automatically planned, memory-validated
         sharding plan — the one-call production entry point."""
@@ -173,7 +183,8 @@ class NeoTrainer:
             validate_plan_memory(plan, device_memory_bytes)
         return cls(config, plan, topology, dense_optimizer,
                    sparse_optimizer, comms_config=comms_config, seed=seed,
-                   trace=trace, metrics=metrics)
+                   trace=trace, metrics=metrics,
+                   process_group_factory=process_group_factory)
 
     def _build_shards(self, config: DLRMConfig, plan: ShardingPlan,
                       golden: DLRM) -> None:
@@ -265,11 +276,11 @@ class NeoTrainer:
         # index AlltoAll: every rank ships its local ids to the owner
         payload = [[local_inputs[src][0] if dst == owner else _empty_ids()
                     for dst in range(w)] for src in range(w)]
-        arrived = self.pg.all_to_all(payload, direction="index")
+        arrived = self.pg.all_to_all(payload, kind=AlltoAllKind.INDEX)
         lengths = [[offsets_to_lengths(local_inputs[src][1])
                     if dst == owner else _empty_ids()
                     for dst in range(w)] for src in range(w)]
-        arrived_lengths = self.pg.all_to_all(lengths, direction="index")
+        arrived_lengths = self.pg.all_to_all(lengths, kind=AlltoAllKind.INDEX)
         ids, offsets = self._global_jagged(
             list(zip(arrived[owner], arrived_lengths[owner])))
         pooled_global = self._shard_forward(shard, ids, offsets)
@@ -281,7 +292,7 @@ class NeoTrainer:
                         np.zeros((0, d), dtype=np.float32)
                         for dst in range(w)] for src in range(w)]
         delivered = self.pg.all_to_all(out_payload,
-                                       direction="forward_alltoall")
+                                       kind=AlltoAllKind.FORWARD)
         return [delivered[r][owner] for r in range(w)]
 
     def _backward_table_wise(self, shard: Shard,
@@ -292,7 +303,7 @@ class NeoTrainer:
         payload = [[d_pooled[src] / w if dst == owner else
                     np.zeros((0, d), dtype=np.float32)
                     for dst in range(w)] for src in range(w)]
-        arrived = self.pg.all_to_all(payload, direction="backward_alltoall")
+        arrived = self.pg.all_to_all(payload, kind=AlltoAllKind.BACKWARD)
         d_global = np.concatenate(arrived[owner], axis=0).astype(np.float32)
         self._shard_update(shard, d_global)
 
@@ -306,11 +317,11 @@ class NeoTrainer:
         # replicated index AlltoAll: each rank ships ids to every owner
         payload = [[local_inputs[src][0] if dst in owners else _empty_ids()
                     for dst in range(w)] for src in range(w)]
-        arrived = self.pg.all_to_all(payload, direction="index")
+        arrived = self.pg.all_to_all(payload, kind=AlltoAllKind.INDEX)
         lengths = [[offsets_to_lengths(local_inputs[src][1])
                     if dst in owners else _empty_ids()
                     for dst in range(w)] for src in range(w)]
-        arrived_lengths = self.pg.all_to_all(lengths, direction="index")
+        arrived_lengths = self.pg.all_to_all(lengths, kind=AlltoAllKind.INDEX)
         # each owner pools its column slice for the global batch
         pooled_slices: Dict[Shard, np.ndarray] = {}
         for shard in shards:
@@ -330,7 +341,7 @@ class NeoTrainer:
                             np.zeros((0, d), dtype=np.float32)
                             for dst in range(w)] for src in range(w)]
             delivered = self.pg.all_to_all(out_payload,
-                                           direction="forward_alltoall")
+                                           kind=AlltoAllKind.FORWARD)
             delivered_by_shard[shard] = [delivered[r][shard.rank]
                                          for r in range(w)]
         return [np.concatenate([delivered_by_shard[s][r] for s in ordered],
@@ -346,7 +357,7 @@ class NeoTrainer:
                         np.zeros((0, c1 - c0), dtype=np.float32)
                         for dst in range(w)] for src in range(w)]
             arrived = self.pg.all_to_all(payload,
-                                         direction="backward_alltoall")
+                                         kind=AlltoAllKind.BACKWARD)
             d_global = np.concatenate(arrived[shard.rank],
                                       axis=0).astype(np.float32)
             self._shard_update(shard, d_global)
@@ -371,9 +382,9 @@ class NeoTrainer:
             for shard, (b_ids, b_lengths) in zip(ordered, buckets):
                 payload_ids[src][shard.rank] = b_ids
                 payload_lengths[src][shard.rank] = b_lengths
-        arrived_ids = self.pg.all_to_all(payload_ids, direction="index")
+        arrived_ids = self.pg.all_to_all(payload_ids, kind=AlltoAllKind.INDEX)
         arrived_lengths = self.pg.all_to_all(payload_lengths,
-                                             direction="index")
+                                             kind=AlltoAllKind.INDEX)
         # owners compute partial pooled sums for the global batch
         global_batch = local_batch * w
         partials = [np.zeros((global_batch, d), dtype=np.float32)
@@ -448,6 +459,9 @@ class NeoTrainer:
             raise ValueError(f"local batches must be equal size, got {sizes}")
         local_batch = sizes.pop()
         tr = self.tracer
+        # announce the iteration boundary (v2 ProcessGroup API) so
+        # wrappers can key scheduled faults on the logical step
+        self.pg.on_iteration_start(self.steps)
 
         with tr.span("trainer.iteration", cat="trainer", step=self.steps,
                      local_batch=local_batch):

@@ -110,6 +110,21 @@ class DataIngestionService:
         self.fill()
         return shards
 
+    def seek(self, batch_index: int) -> None:
+        """Reposition so the next :meth:`next_batch` serves ``batch_index``.
+
+        Batches are deterministic functions of their index, so rewinding
+        the reader replays the exact sample stream — this is what lets
+        checkpoint recovery resume on the same data an uninterrupted run
+        would have seen. Prefetched batches are discarded (their indices
+        no longer line up).
+        """
+        if batch_index < 0:
+            raise ValueError(
+                f"batch_index must be non-negative, got {batch_index}")
+        self._queue.clear()
+        self._next_index = batch_index
+
     @property
     def queue_depth(self) -> int:
         return len(self._queue)

@@ -131,23 +131,23 @@ def component_times(setup: TrainingSetup) -> ComponentTimes:
     tw_d = sum_d - rw_d
     fwd_factor = setup.comms.volume_factor("forward_alltoall")
     bwd_factor = setup.comms.volume_factor("backward_alltoall")
-    a2a_fwd = cpm.alltoall_time(
+    a2a_fwd = cpm.all_to_all_time(
         b_loc * tw_d * 4 * fwd_factor * setup.load_imbalance, topo)
-    a2a_bwd = cpm.alltoall_time(
+    a2a_bwd = cpm.all_to_all_time(
         b_loc * tw_d * 4 * bwd_factor * setup.load_imbalance, topo)
     if rw_d > 0:
         a2a_fwd += cpm.reduce_scatter_time(b_glob * rw_d * 4 * fwd_factor,
                                            topo)
-        a2a_bwd += cpm.allgather_time(b_glob * rw_d * 4 * bwd_factor, topo)
+        a2a_bwd += cpm.all_gather_time(b_glob * rw_d * 4 * bwd_factor, topo)
 
     # --- index AlltoAll for batch i+1 (8-byte ids, never quantized)
     input_bytes = b_glob * total_l * 8 / w
-    input_a2a = cpm.alltoall_time(input_bytes, topo)
+    input_a2a = cpm.all_to_all_time(input_bytes, topo)
 
     # --- gradient AllReduce over the replicated MLPs
     mlp_bytes = spec.num_mlp_parameters * 4 * setup.comms.volume_factor(
         "allreduce")
-    allreduce = cpm.allreduce_time(mlp_bytes, topo)
+    allreduce = cpm.all_reduce_time(mlp_bytes, topo)
 
     # --- interaction: memory-bound pairwise dots
     f = len(spec.tables) + 1

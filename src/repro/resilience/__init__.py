@@ -1,0 +1,50 @@
+"""Fault-tolerant training: deterministic fault injection, retry/backoff
+and checkpoint-based recovery.
+
+At ZionEX scale a synchronous job's mean time between failures is set by
+its weakest host; the paper's production fleet treats detect-restart-
+resume as part of the training system, not an afterthought. This
+package reproduces that discipline over the simulated cluster, in four
+composable pieces:
+
+* :mod:`~repro.resilience.faults` — *what fails when*: seedable,
+  replayable :class:`FaultSchedule` of :class:`FaultSpec` entries
+  (delay / drop / corrupt / crash a rank on a chosen iteration and
+  collective);
+* :mod:`~repro.resilience.retry` — *how failures cost time*:
+  :class:`RetryPolicy` (timeout + exponential backoff + max attempts)
+  and :class:`HealthTracker` (EWMA straggler detection, timeout strikes,
+  rank death);
+* :mod:`~repro.resilience.process_group` —
+  :class:`FaultyProcessGroup`, a drop-in ``SimProcessGroup`` that
+  injects scheduled faults into every collective's latency accounting
+  and raises :class:`RankFailure` for dead ranks; bit-identical to the
+  base group when the schedule is empty;
+* :mod:`~repro.resilience.recovery` — :class:`RecoveryManager`, which
+  rebuilds a trainer over the surviving (or replaced) world from the
+  newest checkpoint; with the world size restored, resumed training is
+  bitwise identical to an uninterrupted run.
+
+Metrics land in the ``resilience`` registry scope
+(``faults_injected``, ``retries``, ``recovery_seconds``, ...); see
+``docs/resilience.md`` for the full tour.
+"""
+
+from .faults import FaultKind, FaultSchedule, FaultSpec, RankFailure
+from .process_group import FaultyProcessGroup, faulty_process_group_factory
+from .recovery import RecoveryError, RecoveryEvent, RecoveryManager
+from .retry import HealthTracker, RetryPolicy
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultSchedule",
+    "RankFailure",
+    "RetryPolicy",
+    "HealthTracker",
+    "FaultyProcessGroup",
+    "faulty_process_group_factory",
+    "RecoveryError",
+    "RecoveryEvent",
+    "RecoveryManager",
+]

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.comms import (PROTOTYPE_TOPOLOGY, ZION_TOPOLOGY, ClusterTopology,
-                         QuantizedCommsConfig, SimProcessGroup)
+from repro.comms import (PROTOTYPE_TOPOLOGY, ZION_TOPOLOGY, AlltoAllKind,
+                         ClusterTopology, QuantizedCommsConfig,
+                         SimProcessGroup)
 from repro.comms import perf_model as pm
 
 
@@ -34,14 +35,14 @@ class TestAlltoallModel:
     def test_paper_calibration_7gbps(self):
         """Fig 20 / Sec 5.1: 256 MB AlltoAll at 128 GPUs -> ~7 GB/s."""
         topo = PROTOTYPE_TOPOLOGY(num_nodes=16)
-        bw = pm.achieved_alltoall_bw(256e6, topo)
+        bw = pm.achieved_all_to_all_bw(256e6, topo)
         assert bw == pytest.approx(7e9, rel=0.15)
 
     def test_bandwidth_rises_with_message_size(self):
         """Small messages are alpha-bound: the Fig 20 curve shape."""
         topo = PROTOTYPE_TOPOLOGY(num_nodes=16)
         sizes = [2 ** k for k in range(10, 28, 2)]
-        bws = [pm.achieved_alltoall_bw(s, topo) for s in sizes]
+        bws = [pm.achieved_all_to_all_bw(s, topo) for s in sizes]
         assert all(b1 <= b2 * 1.001 for b1, b2 in zip(bws, bws[1:]))
         assert bws[0] < bws[-1] / 100
 
@@ -49,47 +50,47 @@ class TestAlltoallModel:
         """Intra-node AlltoAll is NVLink-speed, far faster than RoCE."""
         one = ClusterTopology(num_nodes=1)
         sixteen = PROTOTYPE_TOPOLOGY(num_nodes=16)
-        assert pm.alltoall_time(64e6, one) < pm.alltoall_time(64e6, sixteen) / 5
+        assert pm.all_to_all_time(64e6, one) < pm.all_to_all_time(64e6, sixteen) / 5
 
     def test_single_gpu_is_free(self):
         topo = ClusterTopology(num_nodes=1, gpus_per_node=1)
-        assert pm.alltoall_time(1e6, topo) == 0.0
+        assert pm.all_to_all_time(1e6, topo) == 0.0
 
     def test_negative_bytes_raise(self):
         with pytest.raises(ValueError):
-            pm.alltoall_time(-1, PROTOTYPE_TOPOLOGY())
+            pm.all_to_all_time(-1, PROTOTYPE_TOPOLOGY())
 
 
 class TestAllreduceModel:
     def test_paper_calibration_60gbps(self):
         """Sec 5.1: 256 MB AllReduce at 128 GPUs -> ~60 GB/s bus bandwidth."""
         topo = PROTOTYPE_TOPOLOGY(num_nodes=16)
-        bw = pm.achieved_allreduce_bw(256e6, topo)
+        bw = pm.achieved_all_reduce_bw(256e6, topo)
         assert bw == pytest.approx(60e9, rel=0.15)
 
     def test_allreduce_faster_than_alltoall(self):
         """AllReduce rides NVLink for intra-node phases (Sec 5.1)."""
         topo = PROTOTYPE_TOPOLOGY(num_nodes=16)
-        ar = pm.achieved_allreduce_bw(256e6, topo)
-        a2a = pm.achieved_alltoall_bw(256e6, topo)
+        ar = pm.achieved_all_reduce_bw(256e6, topo)
+        a2a = pm.achieved_all_to_all_bw(256e6, topo)
         assert ar > 5 * a2a
 
     def test_scaling_with_nodes(self):
         """More nodes -> longer AllReduce for the same buffer."""
-        t2 = pm.allreduce_time(64e6, PROTOTYPE_TOPOLOGY(num_nodes=2))
-        t16 = pm.allreduce_time(64e6, PROTOTYPE_TOPOLOGY(num_nodes=16))
+        t2 = pm.all_reduce_time(64e6, PROTOTYPE_TOPOLOGY(num_nodes=2))
+        t16 = pm.all_reduce_time(64e6, PROTOTYPE_TOPOLOGY(num_nodes=16))
         assert t16 > t2
 
     def test_reduce_scatter_half_of_allreduce(self):
         topo = PROTOTYPE_TOPOLOGY(num_nodes=4)
         rs = pm.reduce_scatter_time(128e6, topo)
-        ar = pm.allreduce_time(128e6, topo)
+        ar = pm.all_reduce_time(128e6, topo)
         assert rs == pytest.approx(ar / 2, rel=0.05)
 
     def test_zion_much_slower(self):
         """The Sec 3.1 scaling argument: Zion networking bottlenecks."""
-        t_zionex = pm.allreduce_time(256e6, PROTOTYPE_TOPOLOGY(num_nodes=16))
-        t_zion = pm.allreduce_time(256e6, ZION_TOPOLOGY(num_nodes=16))
+        t_zionex = pm.all_reduce_time(256e6, PROTOTYPE_TOPOLOGY(num_nodes=16))
+        t_zion = pm.all_reduce_time(256e6, ZION_TOPOLOGY(num_nodes=16))
         assert t_zion > 2 * t_zionex
 
 
@@ -118,8 +119,8 @@ class TestSimProcessGroup:
         pg_q = self.make_pg(config=cfg)
         inputs = [[np.ones(16, dtype=np.float32) for _ in range(4)]
                   for _ in range(4)]
-        pg_fp32.all_to_all(inputs, direction="forward_alltoall")
-        pg_q.all_to_all(inputs, direction="forward_alltoall")
+        pg_fp32.all_to_all(inputs, kind=AlltoAllKind.FORWARD)
+        pg_q.all_to_all(inputs, kind=AlltoAllKind.FORWARD)
         key = "all_to_all/forward_alltoall"
         assert pg_q.log.wire_bytes[key] == pg_fp32.log.wire_bytes[key] // 2
         assert pg_q.log.modeled_seconds[key] <= \
@@ -131,7 +132,7 @@ class TestSimProcessGroup:
         value = 1.0 + 2 ** -12  # not representable in fp16
         inputs = [[np.array([value], dtype=np.float32) for _ in range(4)]
                   for _ in range(4)]
-        out = pg.all_to_all(inputs, direction="forward_alltoall")
+        out = pg.all_to_all(inputs, kind=AlltoAllKind.FORWARD)
         assert out[0][0][0] == np.float32(1.0)
 
     def test_index_alltoall_not_quantized(self):
@@ -139,13 +140,13 @@ class TestSimProcessGroup:
         pg = self.make_pg(config=cfg)
         inputs = [[np.array([123456789], dtype=np.int64) for _ in range(4)]
                   for _ in range(4)]
-        out = pg.all_to_all(inputs, direction="index")
+        out = pg.all_to_all(inputs, kind=AlltoAllKind.INDEX)
         assert out[0][0][0] == 123456789
 
     def test_unknown_direction_raises(self):
         pg = self.make_pg()
         inputs = [[np.zeros(1) for _ in range(4)] for _ in range(4)]
-        with pytest.raises(ValueError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             pg.all_to_all(inputs, direction="sideways")
 
     def test_reduce_scatter_and_gather(self):

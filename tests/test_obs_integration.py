@@ -8,8 +8,8 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.comms import (ClusterTopology, QuantizedCommsConfig,
-                         SimProcessGroup)
+from repro.comms import (AlltoAllKind, ClusterTopology,
+                         QuantizedCommsConfig, SimProcessGroup)
 from repro.comms import perf_model
 from repro.comms.quantization import wire_bytes
 from repro.core import NeoTrainer
@@ -109,7 +109,7 @@ class TestGoldenWireBytes:
         pooled = wire_bytes(GLOBAL_BATCH * DIM, "fp32")
         assert log.modeled_seconds["all_to_all/forward_alltoall"] == \
             pytest.approx(
-                ITERS * perf_model.alltoall_time(pooled / WORLD, topo))
+                ITERS * perf_model.all_to_all_time(pooled / WORLD, topo))
         assert log.modeled_seconds["reduce_scatter"] == pytest.approx(
             ITERS * perf_model.reduce_scatter_time(
                 GLOBAL_BATCH * DIM * 4, topo))
@@ -166,7 +166,7 @@ class TestColumnWiseByteAudit:
         pg = SimProcessGroup(topo)
         ids32 = np.arange(6, dtype=np.int32)
         payload = [[ids32, ids32], [ids32, ids32]]
-        pg.all_to_all(payload, direction="index")
+        pg.all_to_all(payload, kind=AlltoAllKind.INDEX)
         assert pg.log.wire_bytes["all_to_all/index"] == 4 * 6 * 4
 
 
