@@ -15,6 +15,7 @@ Layering (bottom-up):
 * :mod:`repro.resilience` — fault injection, retries, crash recovery
 * :mod:`repro.perf` — device rooflines and end-to-end throughput model
 * :mod:`repro.baselines` — async parameter-server and Zion comparisons
+* :mod:`repro.serving` — frozen-model export, micro-batching, SLO serving
 * :mod:`repro.metrics` — normalized entropy et al.
 """
 
@@ -32,6 +33,7 @@ __all__ = [
     "resilience",
     "perf",
     "baselines",
+    "serving",
     "metrics",
     "lowp",
 ]

@@ -10,6 +10,10 @@
   ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``) and
   prints a run summary comparing measured phase shares against the
   analytical Eq. 1 latency breakdown.
+* ``python -m repro serve-bench`` — freezes a mini Table 3 model and
+  replays a seeded Poisson arrival trace through the micro-batching
+  inference server at several offered loads, printing the SLO report
+  (p50/p99, goodput, shed rate) per load, batched vs unbatched.
 """
 
 from __future__ import annotations
@@ -147,6 +151,53 @@ def trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_bench_command(args: argparse.Namespace) -> int:
+    """Freeze a mini model and sweep offered load through the server."""
+    from repro.data import SyntheticCTRDataset
+    from repro.models import DLRM, mini_config
+    from repro.serving import (BatchingPolicy, FreezeConfig, InferenceServer,
+                               ServingPerfModel, freeze, run_load_test)
+
+    if args.requests < 1:
+        print("error: --requests must be positive", file=sys.stderr)
+        return 2
+    if args.slo_ms <= 0 or args.qps <= 0:
+        print("error: --slo-ms and --qps must be positive", file=sys.stderr)
+        return 2
+
+    config = mini_config(args.model)
+    model = freeze(DLRM(config, seed=args.seed),
+                   FreezeConfig(precision=args.precision))
+    dataset = SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                                  seed=args.seed)
+    perf = ServingPerfModel()
+    policies = [
+        ("batch=1", BatchingPolicy(max_batch_size=1, max_wait_s=0.0)),
+        (f"batch<={args.max_batch}",
+         BatchingPolicy(max_batch_size=args.max_batch,
+                        max_wait_s=args.max_wait_us * 1e-6)),
+    ]
+    print(f"serve-bench: {args.model} mini ({args.precision} embeddings, "
+          f"{model.storage_bytes() / 1e6:.1f} MB), "
+          f"{args.requests} requests, SLO {args.slo_ms:.1f} ms\n")
+    from repro.serving import LoadReport
+    header = ["policy"] + LoadReport.ROW_HEADER
+    rows = []
+    for name, policy in policies:
+        server = InferenceServer(model, policy, perf)
+        for scale in (0.5, 1.0, 2.0):
+            report = run_load_test(server, dataset, qps=args.qps * scale,
+                                   num_requests=args.requests,
+                                   slo_s=args.slo_ms * 1e-3, seed=args.seed)
+            rows.append([name] + report.row())
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.models import MODEL_NAMES
 
@@ -170,10 +221,32 @@ def main(argv=None) -> int:
                          help="span clock: wall seconds or logical ticks")
     trace_p.add_argument("--out", default="trace.json",
                          help="output path for the Chrome trace JSON")
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="replay Poisson load through the micro-batching server")
+    serve_p.add_argument("--model", default="A2", choices=MODEL_NAMES,
+                         help="Table 3 model whose mini config to serve")
+    serve_p.add_argument("--precision", default="fp32",
+                         choices=("fp32", "fp16", "bf16", "int8"),
+                         help="embedding storage precision at freeze time")
+    serve_p.add_argument("--qps", type=float, default=2000.0,
+                         help="center offered load (swept at 0.5x/1x/2x)")
+    serve_p.add_argument("--requests", type=int, default=2000,
+                         help="requests per load point")
+    serve_p.add_argument("--slo-ms", type=float, default=5.0,
+                         help="latency SLO in milliseconds")
+    serve_p.add_argument("--max-batch", type=int, default=64,
+                         help="micro-batcher max batch size")
+    serve_p.add_argument("--max-wait-us", type=float, default=2000.0,
+                         help="micro-batcher max wait in microseconds")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="load / model / dataset seed")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return trace_command(args)
+    if args.command == "serve-bench":
+        return serve_bench_command(args)
     return selfcheck()
 
 

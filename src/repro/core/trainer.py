@@ -588,6 +588,63 @@ class NeoTrainer:
         return float(np.mean(losses))
 
     # ------------------------------------------------------------------
+    # evaluation forward (the serving-export parity reference)
+    # ------------------------------------------------------------------
+    def eval_forward(self, local_batches: List[MiniBatch]
+                     ) -> List[np.ndarray]:
+        """Forward-only pass over per-rank sub-batches; returns each
+        rank's logits ``(B/W,)``.
+
+        No optimizer state, gradients or weights are touched — this is
+        the eval answer the online-training loop would ship to serving,
+        and the reference :func:`repro.serving.freeze` parity is tested
+        against. Collectives still run (and are billed) exactly as in
+        the forward half of :meth:`train_step`.
+        """
+        w = self.world_size
+        if len(local_batches) != w:
+            raise ValueError(
+                f"need {w} local batches, got {len(local_batches)}")
+        sizes = {b.batch_size for b in local_batches}
+        if len(sizes) != 1:
+            raise ValueError(f"local batches must be equal size, got {sizes}")
+        local_batch = sizes.pop()
+        with self.tracer.span("trainer.eval_forward", cat="trainer",
+                              local_batch=local_batch):
+            dense_out = [self.ranks[r].bottom.forward(local_batches[r].dense)
+                         for r in range(w)]
+            pooled: Dict[str, List[np.ndarray]] = {}
+            for t in self.config.tables:
+                table_plan = self.plan.tables[t.name]
+                inputs = [local_batches[r].sparse[t.name] for r in range(w)]
+                scheme = table_plan.scheme
+                if scheme == ShardingScheme.TABLE_WISE:
+                    pooled[t.name] = self._forward_table_wise(
+                        t, table_plan.shards[0], inputs, local_batch)
+                elif scheme == ShardingScheme.COLUMN_WISE:
+                    pooled[t.name] = self._forward_column_wise(
+                        t, table_plan.shards, inputs, local_batch)
+                elif scheme in (ShardingScheme.ROW_WISE,
+                                ShardingScheme.TABLE_ROW_WISE):
+                    pooled[t.name] = self._forward_row_wise(
+                        t, table_plan.shards, inputs, local_batch)
+                else:
+                    pooled[t.name] = self._forward_data_parallel(
+                        table_plan.shards, inputs)
+            logits = []
+            for r in range(w):
+                state = self.ranks[r]
+                features = [dense_out[r]]
+                for t in self.config.tables:
+                    value = pooled[t.name][r]
+                    if t.name in state.projections:
+                        value = state.projections[t.name].forward(value)
+                    features.append(value)
+                interacted = state.interaction.forward_list(features)
+                logits.append(state.top.forward(interacted)[:, 0])
+        return logits
+
+    # ------------------------------------------------------------------
     # inspection / export
     # ------------------------------------------------------------------
     def gather_table(self, name: str) -> np.ndarray:

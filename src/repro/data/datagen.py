@@ -73,6 +73,31 @@ class MiniBatch:
         step = self.batch_size // parts
         return [self.slice(i * step, (i + 1) * step) for i in range(parts)]
 
+    @staticmethod
+    def concat(batches: Sequence["MiniBatch"]) -> "MiniBatch":
+        """Coalesce batches (inverse of :meth:`split`): samples in order,
+        jagged ids concatenated with offsets rebased. All batches must
+        cover the same sparse features. This is the serving batcher's
+        merge step."""
+        if not batches:
+            raise ValueError("need at least one batch")
+        names = set(batches[0].sparse)
+        for b in batches[1:]:
+            if set(b.sparse) != names:
+                raise ValueError(
+                    f"sparse feature mismatch: {sorted(names)} vs "
+                    f"{sorted(b.sparse)}")
+        sparse = {}
+        for name in batches[0].sparse:
+            ids = np.concatenate([b.sparse[name][0] for b in batches])
+            lengths = np.concatenate(
+                [np.diff(b.sparse[name][1]) for b in batches])
+            sparse[name] = (ids, lengths_to_offsets(lengths))
+        return MiniBatch(
+            dense=np.concatenate([b.dense for b in batches], axis=0),
+            sparse=sparse,
+            labels=np.concatenate([b.labels for b in batches]))
+
 
 class SyntheticCTRDataset:
     """Reproducible stream of :class:`MiniBatch` with a planted teacher.

@@ -14,6 +14,7 @@ from .gemm import MLPBenchResult, gemm_tflops, gemm_time, mlp_benchmark, \
     mlp_time
 from .online import (NodeSizing, hierarchy_bw_fraction, min_nodes_for,
                      sizing_sweep)
+from .platform import ZIONEX_PLATFORM, PlatformSpec
 from .iteration import (TrainingSetup, component_times, iteration_time,
                         latency_breakdown, plan_imbalance, qps,
                         weak_scaling_curve)
@@ -58,6 +59,8 @@ __all__ = [
     "dp_vs_tw_cost",
     "find_dp_crossover",
     "crossover_sweep",
+    "PlatformSpec",
+    "ZIONEX_PLATFORM",
     "NodeSizing",
     "hierarchy_bw_fraction",
     "min_nodes_for",

@@ -21,16 +21,10 @@ from ..comms import PROTOTYPE_TOPOLOGY
 from ..models.zoo import ModelSpec
 from .capacity import model_footprint
 from .iteration import TrainingSetup, qps
+from .platform import ZIONEX_PLATFORM, PlatformSpec
 
 __all__ = ["NodeSizing", "hierarchy_bw_fraction", "min_nodes_for",
            "sizing_sweep"]
-
-# per-node memory of the prototype platform (Table 2)
-_HBM_PER_NODE = 256e9
-_DRAM_PER_NODE = 1.5e12
-# sustained bandwidths for the blended-lookup estimate
-_HBM_BW = 850e9 * 8      # aggregate per node
-_DRAM_VIA_PCIE_BW = 12e9 * 8  # what the GPUs can pull from DRAM
 
 
 @dataclass(frozen=True)
@@ -46,36 +40,26 @@ class NodeSizing:
 
 
 def hierarchy_bw_fraction(hbm_fraction: float,
-                          cache_hit_boost: float = 0.5) -> float:
+                          cache_hit_boost: float = 0.5,
+                          platform: PlatformSpec = ZIONEX_PLATFORM) -> float:
     """Effective lookup bandwidth (relative to HBM) when only
     ``hbm_fraction`` of the model is HBM-resident.
 
-    Accesses to the DRAM-resident part mostly *hit the software cache*
-    (hot rows get cached in HBM); ``cache_hit_boost`` is the fraction of
-    DRAM-part accesses served by the cache under Zipf traffic. The rest
-    crawl over PCIe.
+    Thin wrapper over :meth:`PlatformSpec.hierarchy_bw_fraction`, kept
+    here because the sizing API grew up in this module; the arithmetic
+    (and the Table 2 numbers) live on the shared platform spec that the
+    serving-side capacity model reads too.
     """
-    if not 0.0 <= hbm_fraction <= 1.0:
-        raise ValueError("hbm_fraction must be in [0, 1]")
-    if not 0.0 <= cache_hit_boost < 1.0:
-        raise ValueError("cache_hit_boost must be in [0, 1)")
-    hbm_served = hbm_fraction + (1 - hbm_fraction) * cache_hit_boost
-    pcie_served = 1.0 - hbm_served
-    time_per_byte = hbm_served / _HBM_BW + pcie_served / _DRAM_VIA_PCIE_BW
-    pure_hbm_time = 1.0 / _HBM_BW
-    return pure_hbm_time / time_per_byte
+    return platform.hierarchy_bw_fraction(hbm_fraction, cache_hit_boost)
 
 
 def _evaluate(spec: ModelSpec, nodes: int, target_qps: float,
-              precision: str, optimizer: str,
-              per_gpu_batch: int) -> NodeSizing:
+              precision: str, optimizer: str, per_gpu_batch: int,
+              platform: PlatformSpec = ZIONEX_PLATFORM) -> NodeSizing:
     footprint = model_footprint(spec, precision, optimizer)
-    hbm_total = nodes * _HBM_PER_NODE
-    total_mem = nodes * (_HBM_PER_NODE + _DRAM_PER_NODE)
-    fits = footprint.total_bytes <= total_mem
-    hbm_fraction = min(1.0, hbm_total / footprint.total_bytes) \
-        if footprint.total_bytes > 0 else 1.0
-    bw_fraction = hierarchy_bw_fraction(hbm_fraction)
+    fits = platform.fits(footprint.total_bytes, nodes)
+    hbm_fraction = platform.hbm_fraction(footprint.total_bytes, nodes)
+    bw_fraction = platform.hierarchy_bw_fraction(hbm_fraction)
     achieved = 0.0
     if fits:
         topo = PROTOTYPE_TOPOLOGY(nodes)
@@ -95,13 +79,15 @@ def min_nodes_for(spec: ModelSpec, target_qps: float,
                   precision: str = "fp16",
                   optimizer: str = "rowwise_adagrad",
                   per_gpu_batch: int = 512,
-                  max_nodes: int = 64) -> Optional[NodeSizing]:
+                  max_nodes: int = 64,
+                  platform: PlatformSpec = ZIONEX_PLATFORM
+                  ) -> Optional[NodeSizing]:
     """Smallest node count meeting capacity + throughput, or None."""
     if target_qps <= 0:
         raise ValueError("target_qps must be positive")
     for nodes in range(1, max_nodes + 1):
         sizing = _evaluate(spec, nodes, target_qps, precision, optimizer,
-                           per_gpu_batch)
+                           per_gpu_batch, platform=platform)
         if sizing.meets_target:
             return sizing
     return None
@@ -110,7 +96,10 @@ def min_nodes_for(spec: ModelSpec, target_qps: float,
 def sizing_sweep(spec: ModelSpec, target_qps: float,
                  node_counts: List[int], precision: str = "fp16",
                  optimizer: str = "rowwise_adagrad",
-                 per_gpu_batch: int = 512) -> List[NodeSizing]:
+                 per_gpu_batch: int = 512,
+                 platform: PlatformSpec = ZIONEX_PLATFORM
+                 ) -> List[NodeSizing]:
     """Evaluate a list of node counts (for the online-training bench)."""
     return [_evaluate(spec, n, target_qps, precision, optimizer,
-                      per_gpu_batch) for n in node_counts]
+                      per_gpu_batch, platform=platform)
+            for n in node_counts]

@@ -1,0 +1,294 @@
+"""Freezing a trained model into an immutable servable artifact.
+
+Training and serving want opposite things from the same weights:
+training needs mutable shards, optimizer state and exact gradients;
+serving needs an immutable forward-only snapshot that is cheap to
+replicate, quantize and place across the memory hierarchy. ``freeze``
+is the boundary: it snapshots a :class:`repro.core.NeoTrainer` (or a
+single-process :class:`repro.models.DLRM`) into a
+:class:`ServableModel`:
+
+* **fp32 path** — bitwise-identical forward to the source model's eval
+  forward (the parity tests assert this exactly);
+* **quantized paths** — embedding weights round through fp16/bf16/int8
+  storage at freeze time (Section 4.1.4 storage precisions), with the
+  per-table max quantization error recorded on the artifact so serving
+  error budgets are *measured*, not asserted;
+* **hierarchical placement** — an optional per-node HBM budget: tables
+  are packed hot-first (smallest first, maximizing the count of
+  arena-served tables) and the overflow is served through the software
+  cache in front of a DRAM backing store, the CacheEmbedding serving
+  arrangement over :mod:`repro.cache`.
+
+All weight arrays are marked read-only; an optimizer step against a
+frozen model raises instead of silently corrupting the serving fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import lowp, nn
+from ..cache import ArrayBackingStore, SetAssociativeCache
+from ..data.datagen import MiniBatch
+from ..embedding import (EmbeddingTable, FusedEmbeddingCollection,
+                         lengths_to_offsets)
+from ..embedding.kernels import segment_sum
+from ..models.dlrm import DLRM, DLRMConfig
+from ..nn import functional as F
+
+__all__ = ["FreezeConfig", "ServableModel", "freeze"]
+
+_EMB_BYTES = {"fp32": 4, "fp16": 2, "bf16": 2, "int8": 1}
+
+
+@dataclass(frozen=True)
+class FreezeConfig:
+    """How to snapshot a model for serving.
+
+    ``precision`` is the embedding *storage* precision (dense MLP weights
+    always serve in fp32 — they are a rounding error of the footprint).
+    ``hot_bytes`` is the HBM budget for arena-resident tables; ``None``
+    serves everything from the arena. Cold tables are served through a
+    set-associative cache covering ``cache_rows_fraction`` of their rows.
+    """
+
+    precision: str = "fp32"
+    hot_bytes: Optional[float] = None
+    cache_rows_fraction: float = 0.25
+    cache_ways: int = 32
+
+    def __post_init__(self) -> None:
+        if self.precision not in _EMB_BYTES:
+            raise ValueError(
+                f"precision must be one of {sorted(_EMB_BYTES)}, "
+                f"got {self.precision!r}")
+        if self.hot_bytes is not None and self.hot_bytes < 0:
+            raise ValueError("hot_bytes must be >= 0")
+        if not 0.0 < self.cache_rows_fraction <= 1.0:
+            raise ValueError("cache_rows_fraction must be in (0, 1]")
+        if self.cache_ways < 1:
+            raise ValueError("cache_ways must be >= 1")
+
+
+class _ColdTable:
+    """Forward-only pooled lookup through the software cache.
+
+    Wraps a read-only backing store plus a :class:`SetAssociativeCache`;
+    rows are exact (the cache is a placement model, not an approximation)
+    so the pooled output is bitwise-identical to a direct lookup while
+    hit/miss traffic accumulates in ``cache.stats`` for the perf model.
+    """
+
+    def __init__(self, name: str, weight: np.ndarray, pooling_mode: str,
+                 cache_rows_fraction: float, cache_ways: int) -> None:
+        self.name = name
+        self.pooling_mode = pooling_mode
+        self.backing = ArrayBackingStore(weight)
+        # the store copies its input (astype), so freeze its copy too
+        self.backing.rows.flags.writeable = False
+        num_rows, dim = weight.shape
+        target = max(1, int(num_rows * cache_rows_fraction))
+        ways = min(cache_ways, target)
+        self.cache = SetAssociativeCache(
+            num_sets=max(1, target // ways), row_dim=dim, ways=ways)
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(indices):
+            rows = self.cache.read(indices, self.backing)
+        else:
+            rows = np.zeros((0, self.backing.row_dim), dtype=np.float32)
+        out = segment_sum(rows, offsets)
+        if self.pooling_mode == "mean":
+            lengths = np.diff(offsets)
+            out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
+        return out
+
+
+def _quantize_weight(weight: np.ndarray, precision: str) -> np.ndarray:
+    if precision == "fp32":
+        return weight.astype(np.float32)
+    if precision == "fp16":
+        return lowp.fp16_roundtrip(weight).astype(np.float32)
+    if precision == "bf16":
+        return lowp.bf16_roundtrip(weight).astype(np.float32)
+    codes, scale, offset = lowp.quantize_int8_rowwise(weight)
+    return lowp.dequantize_int8_rowwise(codes, scale, offset).astype(
+        np.float32)
+
+
+@dataclass
+class ServableModel:
+    """An immutable forward-only DLRM snapshot for the serving fleet.
+
+    Built via :func:`freeze`; exposes :meth:`forward` (logits) and
+    :meth:`predict` (probabilities) over :class:`MiniBatch` inputs, plus
+    the footprint/quantization metadata capacity planning needs. The
+    underlying weight arrays are read-only numpy views.
+    """
+
+    config: DLRMConfig
+    precision: str
+    bottom: nn.MLP
+    top: nn.MLP
+    interaction: nn.Module
+    projections: Dict[str, nn.Linear]
+    hot_tables: Optional[FusedEmbeddingCollection]
+    cold_tables: Dict[str, _ColdTable]
+    quantization_error: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def hot_table_names(self) -> List[str]:
+        return self.hot_tables.names if self.hot_tables is not None else []
+
+    @property
+    def cold_table_names(self) -> List[str]:
+        return sorted(self.cold_tables)
+
+    def max_quantization_error(self) -> float:
+        """Largest per-element |fp32 - stored| across all tables."""
+        return max(self.quantization_error.values(), default=0.0)
+
+    def embedding_storage_bytes(self) -> int:
+        """Low-precision serving footprint of the embedding tables
+        (int8 includes the per-row float32 scale/offset pair)."""
+        per_element = _EMB_BYTES[self.precision]
+        total = 0
+        for t in self.config.tables:
+            total += t.num_parameters * per_element
+            if self.precision == "int8":
+                total += t.num_embeddings * 8
+        return total
+
+    def dense_storage_bytes(self) -> int:
+        return self.config.num_dense_parameters() * 4
+
+    def storage_bytes(self) -> int:
+        return self.embedding_storage_bytes() + self.dense_storage_bytes()
+
+    # ------------------------------------------------------------------
+    def _pooled(self, batch: MiniBatch) -> Dict[str, np.ndarray]:
+        hot_inputs = {name: batch.sparse[name]
+                      for name in self.hot_table_names}
+        pooled = self.hot_tables.forward(hot_inputs) \
+            if self.hot_tables is not None else {}
+        for name, table in self.cold_tables.items():
+            indices, offsets = batch.sparse[name]
+            pooled[name] = table.forward(indices, offsets)
+        return pooled
+
+    def forward(self, batch: MiniBatch) -> np.ndarray:
+        """Logits of shape (B,) — the same arithmetic as
+        :meth:`repro.models.DLRM.forward` over frozen weights."""
+        dense_out = self.bottom.forward(batch.dense)
+        pooled = self._pooled(batch)
+        features = [dense_out]
+        for t in self.config.tables:
+            value = pooled[t.name]
+            if t.name in self.projections:
+                value = self.projections[t.name].forward(value)
+            features.append(value)
+        interacted = self.interaction.forward_list(features)
+        return self.top.forward(interacted)[:, 0]
+
+    def predict(self, batch: MiniBatch) -> np.ndarray:
+        """Click probabilities of shape (B,)."""
+        return F.sigmoid(self.forward(batch))
+
+    def nnz(self, batch: MiniBatch) -> int:
+        """Total embedding rows a batch touches (perf-model input)."""
+        return int(sum(len(ids) for ids, _ in batch.sparse.values()))
+
+
+def _freeze_array(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a, dtype=np.float32)
+    a.flags.writeable = False
+    return a
+
+
+def freeze(source, config: Optional[FreezeConfig] = None) -> ServableModel:
+    """Snapshot a trainer or reference model into a :class:`ServableModel`.
+
+    ``source`` is a :class:`repro.core.NeoTrainer` (exported via its
+    ``to_local_model``, i.e. rank-0 dense replicas + gathered shards) or
+    a :class:`repro.models.DLRM`.
+    """
+    cfg = config if config is not None else FreezeConfig()
+    model = source.to_local_model() if hasattr(source, "to_local_model") \
+        else source
+    if not isinstance(model, DLRM):
+        raise TypeError(
+            f"freeze() needs a NeoTrainer or DLRM, got {type(source)!r}")
+    dlrm_config = model.config
+
+    # dense stack: fresh layers with copied, read-only weights
+    bottom = nn.MLP((dlrm_config.dense_dim,) + dlrm_config.bottom_mlp,
+                    final_activation="relu", name="bottom")
+    top = nn.MLP((dlrm_config.interaction_dim,) + dlrm_config.top_mlp + (1,),
+                 name="top")
+    projections: Dict[str, nn.Linear] = {}
+    if dlrm_config.project_features:
+        for t in dlrm_config.tables:
+            projections[t.name] = nn.Linear(
+                t.embedding_dim, dlrm_config.embedding_dim,
+                name=f"proj.{t.name}")
+    dst_params = bottom.parameters()
+    for t in dlrm_config.tables:
+        if t.name in projections:
+            dst_params.extend(projections[t.name].parameters())
+    dst_params += top.parameters()
+    for dst, src in zip(dst_params, model.dense_parameters()):
+        dst.data = _freeze_array(src.data.copy())
+
+    # embeddings: quantize at freeze time, then place hot/cold
+    quantized: Dict[str, np.ndarray] = {}
+    errors: Dict[str, float] = {}
+    for t in dlrm_config.tables:
+        weight = model.embeddings.table(t.name).weight
+        q = _quantize_weight(weight, cfg.precision)
+        quantized[t.name] = q
+        errors[t.name] = float(np.max(np.abs(weight - q))) \
+            if weight.size else 0.0
+
+    per_element = _EMB_BYTES[cfg.precision]
+    hot: List[EmbeddingTable] = []
+    cold: Dict[str, _ColdTable] = {}
+    # smallest-first packing maximizes how many tables stay arena-served;
+    # the big cold tables are exactly the ones the cache tier is for
+    order = sorted(dlrm_config.tables, key=lambda t: (t.num_parameters,
+                                                      t.name))
+    budget = cfg.hot_bytes if cfg.hot_bytes is not None else float("inf")
+    for t in order:
+        table_bytes = t.num_parameters * per_element
+        if table_bytes <= budget:
+            budget -= table_bytes
+            hot.append(EmbeddingTable(t, weight=quantized[t.name]))
+        else:
+            cold[t.name] = _ColdTable(
+                t.name, _freeze_array(quantized[t.name]), t.pooling_mode,
+                cfg.cache_rows_fraction, cfg.cache_ways)
+    hot_collection = None
+    if hot:
+        # keep config order inside the collection (feature order is config
+        # order in forward(); the arena regroups by dim internally anyway)
+        hot.sort(key=lambda table: [t.name for t in dlrm_config.tables]
+                 .index(table.name))
+        hot_collection = FusedEmbeddingCollection(hot, fusion="arena")
+        # a view's writeable flag is captured at creation, so freeze the
+        # arena storage AND every table's view of it
+        for group in hot_collection.arena.groups:
+            group.storage.flags.writeable = False
+            for view in group.views:
+                view.flags.writeable = False
+
+    return ServableModel(
+        config=dlrm_config, precision=cfg.precision, bottom=bottom, top=top,
+        interaction=dlrm_config.make_interaction(), projections=projections,
+        hot_tables=hot_collection, cold_tables=cold,
+        quantization_error=errors)

@@ -1,0 +1,248 @@
+"""The SLO-aware inference server: batching + real forwards + modeled time.
+
+The server composes the three serving pieces: an immutable
+:class:`repro.serving.export.ServableModel`, the dynamic
+:class:`repro.serving.batcher.MicroBatcher`, and a
+:class:`ServingPerfModel` that prices every dispatched batch with the
+*same* operator models training uses — GEMM rooflines for the MLPs
+(:mod:`repro.perf.gemm`), the embedding bandwidth curve
+(:mod:`repro.perf.embedding_bw`) degraded by the shared
+:class:`repro.perf.PlatformSpec` memory hierarchy when the model
+overflows HBM, and the host-transfer model for request upload. Batching
+trade-offs therefore come out *measured against the platform model*,
+not asserted: the benchmark can show exactly where amortized launch
+overhead stops paying for added queueing delay.
+
+Requests are served for real — every scheduled batch runs an actual
+numpy forward over the coalesced samples — while latency accounting
+runs in virtual time, so results are deterministic and machine
+independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.datagen import MiniBatch
+from ..data.formats import host_transfer_time
+from ..obs.metrics import MetricRegistry
+from ..obs.tracer import as_tracer
+from ..perf.devices import DeviceSpec, V100
+from ..perf.embedding_bw import embedding_lookup_time
+from ..perf.gemm import mlp_time
+from ..perf.platform import ZIONEX_PLATFORM, PlatformSpec
+from .batcher import (BatchingPolicy, BatchPlan, InferenceRequest,
+                      MicroBatcher, ScheduledBatch)
+from .export import ServableModel
+
+__all__ = ["ServingPerfModel", "RequestOutcome", "ServeResult",
+           "InferenceServer"]
+
+_EMB_LOOKUP_PRECISION = {"fp32": "fp32", "fp16": "fp16", "bf16": "fp16",
+                         "int8": "fp16"}  # bandwidth class of row reads
+
+
+@dataclass(frozen=True)
+class ServingPerfModel:
+    """Per-batch service-time model for one serving node.
+
+    ``nodes`` sizes the HBM pool the frozen model must fit: when the
+    model's storage overflows ``nodes * hbm_per_node``, lookups slow
+    down by the platform's hierarchy bandwidth fraction — the same
+    arithmetic :mod:`repro.perf.online` applies to training clusters.
+    ``overhead_s`` is the fixed per-dispatch cost (request decode,
+    framework, result scatter) that batching amortizes.
+    """
+
+    device: DeviceSpec = V100
+    platform: PlatformSpec = ZIONEX_PLATFORM
+    nodes: int = 1
+    cache_hit_boost: float = 0.5
+    mlp_precision: str = "fp32"
+    overhead_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.overhead_s < 0:
+            raise ValueError("overhead_s must be >= 0")
+
+    def bw_fraction(self, model: ServableModel) -> float:
+        """Effective lookup bandwidth fraction for this model placement."""
+        hbm_fraction = self.platform.hbm_fraction(
+            model.embedding_storage_bytes(), self.nodes)
+        return self.platform.hierarchy_bw_fraction(
+            hbm_fraction, self.cache_hit_boost)
+
+    def service_time(self, model: ServableModel, batch_size: int,
+                     nnz: int) -> float:
+        """Seconds to serve one coalesced batch of ``batch_size`` samples
+        touching ``nnz`` embedding rows."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if nnz < 0:
+            raise ValueError("nnz must be >= 0")
+        cfg = model.config
+        # host upload: 2 jagged tensors + dense + lengths, combined format
+        total_l = sum(t.avg_pooling for t in cfg.tables)
+        h2d_bytes = batch_size * (total_l * 8 + cfg.dense_dim * 4)
+        h2d = host_transfer_time(4, h2d_bytes, pinned=True)
+        bottom = mlp_time(batch_size, (cfg.dense_dim,) + cfg.bottom_mlp,
+                          self.device, self.mlp_precision)
+        top = mlp_time(batch_size,
+                       (cfg.interaction_dim,) + cfg.top_mlp + (1,),
+                       self.device, self.mlp_precision)
+        avg_dim = max(1, int(np.mean([t.embedding_dim
+                                      for t in cfg.tables])))
+        lookup_precision = _EMB_LOOKUP_PRECISION[model.precision]
+        lookup = embedding_lookup_time(nnz, avg_dim, self.device,
+                                       lookup_precision)
+        lookup /= self.bw_fraction(model)
+        # interaction: memory-bound pairwise dots (same as training fwd)
+        f = len(cfg.tables) + 1
+        inter_bytes = batch_size * (f * avg_dim * 4 * 2 + f * f * 4)
+        inter = inter_bytes / self.device.hbm_achievable_bw \
+            + self.device.kernel_launch_overhead
+        return h2d + bottom + lookup + inter + top + self.overhead_s
+
+    def capacity_qps(self, model: ServableModel, batch_size: int,
+                     nnz_per_sample: float) -> float:
+        """Saturated throughput at a fixed dispatch width — the ceiling
+        the load generator's goodput converges to."""
+        svc = self.service_time(model, batch_size,
+                                int(round(nnz_per_sample * batch_size)))
+        return batch_size / svc
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Completion record of one served request (virtual-time accounting)."""
+
+    request_id: int
+    arrival_s: float
+    dispatch_s: float
+    completion_s: float
+    batch_samples: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+
+@dataclass
+class ServeResult:
+    """Everything one serve run produced: responses, latencies, sheds."""
+
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    responses: Dict[int, np.ndarray] = field(default_factory=dict)
+    shed_ids: List[int] = field(default_factory=list)
+    plan: Optional[BatchPlan] = None
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_shed(self) -> int:
+        return len(self.shed_ids)
+
+    def latencies_s(self) -> np.ndarray:
+        return np.array([o.latency_s for o in self.outcomes],
+                        dtype=np.float64)
+
+    def percentile_s(self, q: float) -> float:
+        lat = self.latencies_s()
+        return float(np.percentile(lat, q)) if len(lat) else 0.0
+
+    def makespan_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        first = min(o.arrival_s for o in self.outcomes)
+        last = max(o.completion_s for o in self.outcomes)
+        return last - first
+
+
+class InferenceServer:
+    """Serves frozen models through the micro-batcher, under obs spans.
+
+    ``serve`` replays an arrival trace: the batcher plans the schedule
+    in virtual time with :class:`ServingPerfModel` service times, then
+    every scheduled batch is actually executed — requests coalesced via
+    :meth:`MiniBatch.concat`, one real fused forward, per-request rows
+    scattered back. Obs wiring: ``serving.batch``/``serving.forward``
+    spans plus ``serving.*`` counters and latency/batch-size histograms.
+    """
+
+    def __init__(self, model: ServableModel,
+                 policy: Optional[BatchingPolicy] = None,
+                 perf: Optional[ServingPerfModel] = None,
+                 tracer=None,
+                 metrics: Optional[MetricRegistry] = None) -> None:
+        self.model = model
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.perf = perf if perf is not None else ServingPerfModel()
+        self.batcher = MicroBatcher(self.policy)
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._scope = self.metrics.scope("serving")
+
+    # ------------------------------------------------------------------
+    def _service_time(self, requests: List[InferenceRequest]) -> float:
+        batch_size = sum(r.num_samples for r in requests)
+        nnz = sum(self.model.nnz(r.batch) for r in requests)
+        return self.perf.service_time(self.model, batch_size, nnz)
+
+    def _execute(self, scheduled: ScheduledBatch) -> Dict[int, np.ndarray]:
+        """Run the real forward for one scheduled batch and scatter the
+        per-request probability rows."""
+        with self.tracer.span("serving.forward", cat="serving",
+                              requests=scheduled.num_requests,
+                              samples=scheduled.num_samples):
+            merged = MiniBatch.concat(
+                [r.batch for r in scheduled.requests])
+            probs = self.model.predict(merged)
+        out: Dict[int, np.ndarray] = {}
+        row = 0
+        for r in scheduled.requests:
+            out[r.request_id] = probs[row:row + r.num_samples]
+            row += r.num_samples
+        return out
+
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServeResult:
+        """Serve a full arrival trace; returns the per-request record."""
+        plan = self.batcher.plan(list(requests), self._service_time)
+        result = ServeResult(plan=plan)
+        batch_hist = self._scope.histogram("batch_size")
+        latency_hist = self._scope.histogram("latency_s")
+        requests_ctr = self._scope.counter("requests")
+        completed_ctr = self._scope.counter("completed")
+        shed_ctr = self._scope.counter("shed")
+        batches_ctr = self._scope.counter("batches")
+        samples_ctr = self._scope.counter("samples")
+        requests_ctr.inc(len(requests))
+        for scheduled in plan.batches:
+            with self.tracer.span("serving.batch", cat="serving",
+                                  requests=scheduled.num_requests,
+                                  trigger=scheduled.trigger,
+                                  dispatch_s=scheduled.dispatch_s):
+                responses = self._execute(scheduled)
+            result.responses.update(responses)
+            batches_ctr.inc(1)
+            samples_ctr.inc(scheduled.num_samples)
+            completed_ctr.inc(scheduled.num_requests)
+            batch_hist.record(scheduled.num_samples)
+            for r in scheduled.requests:
+                outcome = RequestOutcome(
+                    request_id=r.request_id, arrival_s=r.arrival_s,
+                    dispatch_s=scheduled.dispatch_s,
+                    completion_s=scheduled.completion_s,
+                    batch_samples=scheduled.num_samples)
+                result.outcomes.append(outcome)
+                latency_hist.record(outcome.latency_s)
+        result.shed_ids = sorted(r.request_id for r in plan.shed)
+        shed_ctr.inc(len(result.shed_ids))
+        result.outcomes.sort(key=lambda o: o.request_id)
+        return result

@@ -1,0 +1,197 @@
+"""Micro-batcher tests: deterministic unit schedules plus hypothesis fuzz.
+
+The fuzz suite is the real contract: over arbitrary arrival traces,
+policies and service-time models, every offered request is completed or
+shed exactly once (conservation), batches never exceed the size cap,
+no request dispatches before it arrives, shedding only happens against
+a full queue, and no batch is cut later than
+``max(previous completion, oldest member arrival + max_wait)`` — the
+no-starvation invariant separating bounded batching delay from honest
+queueing delay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MiniBatch
+from repro.serving import BatchingPolicy, InferenceRequest, MicroBatcher
+
+
+def req(request_id, arrival_s, samples=1):
+    """A minimal single-feature request (ids are irrelevant to planning)."""
+    return InferenceRequest(
+        request_id=request_id, arrival_s=arrival_s,
+        batch=MiniBatch(
+            dense=np.zeros((samples, 2), dtype=np.float32),
+            sparse={"t0": (np.zeros(samples, dtype=np.int64),
+                           np.arange(samples + 1, dtype=np.int64))},
+            labels=np.zeros(samples, dtype=np.float32)))
+
+
+def const_service(seconds):
+    return lambda batch: seconds
+
+
+class TestDispatchRules:
+    def test_full_batch_dispatches_immediately(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=2,
+                                              max_wait_s=1.0))
+        plan = batcher.plan([req(0, 0.0), req(1, 0.1), req(2, 0.2)],
+                            const_service(0.01))
+        assert [b.trigger for b in plan.batches] == ["full", "drain"]
+        assert plan.batches[0].dispatch_s == pytest.approx(0.1)
+
+    def test_deadline_bounds_oldest_wait(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=100,
+                                              max_wait_s=0.05))
+        plan = batcher.plan([req(0, 0.0), req(1, 0.01), req(2, 1.0)],
+                            const_service(0.001))
+        first = plan.batches[0]
+        assert first.num_requests == 2
+        assert first.dispatch_s == pytest.approx(0.05)
+
+    def test_drain_flushes_tail(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=100,
+                                              max_wait_s=10.0))
+        plan = batcher.plan([req(0, 0.0)], const_service(0.001))
+        assert len(plan.batches) == 1
+        assert plan.batches[0].trigger == "drain"
+
+    def test_arrivals_during_service_queue_up(self):
+        # first request dispatches alone after its 0.01 wait and holds
+        # the server until 1.01; arrivals at 0.1..0.4 must coalesce
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=10,
+                                              max_wait_s=0.01))
+        requests = [req(0, 0.0)] + [req(i, i / 10) for i in range(1, 5)]
+        plan = batcher.plan(requests, const_service(1.0))
+        assert len(plan.batches) == 2
+        assert plan.batches[1].num_requests == 4
+        assert plan.batches[1].dispatch_s == pytest.approx(1.01)
+
+    def test_sheds_when_queue_full(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=10,
+                                              max_wait_s=10.0,
+                                              max_queue_depth=3))
+        requests = [req(i, 0.0 + i * 1e-6) for i in range(6)]
+        plan = batcher.plan(requests, const_service(100.0))
+        assert plan.num_shed == 3
+        assert plan.num_completed == 3
+        assert {r.request_id for r in plan.shed} == {3, 4, 5}
+
+    def test_zero_wait_serves_singly_when_sparse(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=64,
+                                              max_wait_s=0.0))
+        plan = batcher.plan([req(i, i * 1.0) for i in range(3)],
+                            const_service(0.01))
+        assert all(b.num_requests == 1 for b in plan.batches)
+
+    def test_duplicate_ids_rejected(self):
+        batcher = MicroBatcher()
+        with pytest.raises(ValueError):
+            batcher.plan([req(1, 0.0), req(1, 0.5)], const_service(0.01))
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher().plan([req(0, 0.0)], const_service(-1.0))
+
+    def test_empty_trace(self):
+        plan = MicroBatcher().plan([], const_service(0.01))
+        assert plan.num_offered == 0
+        assert plan.makespan_s == 0.0
+
+    def test_latencies_in_id_order(self):
+        batcher = MicroBatcher(BatchingPolicy(max_batch_size=2,
+                                              max_wait_s=0.5))
+        plan = batcher.plan([req(1, 0.0), req(0, 0.1)], const_service(0.2))
+        lats = plan.latencies_s()
+        # id 0 arrived later into the same batch, so waited less
+        assert len(lats) == 2 and lats[0] < lats[1]
+
+
+POLICIES = st.builds(
+    BatchingPolicy,
+    max_batch_size=st.integers(1, 8),
+    max_wait_s=st.floats(0.0, 0.05),
+    max_queue_depth=st.integers(1, 12))
+
+TRACES = st.lists(st.floats(0.0, 1.0), min_size=0, max_size=40)
+
+SERVICE_S = st.floats(1e-5, 0.2)
+
+
+@settings(max_examples=120, deadline=None)
+@given(arrivals=TRACES, policy=POLICIES, service_s=SERVICE_S)
+def test_fuzz_batcher_invariants(arrivals, policy, service_s):
+    requests = [req(i, t) for i, t in enumerate(sorted(arrivals))]
+    plan = MicroBatcher(policy).plan(requests, const_service(service_s))
+
+    # conservation: every request completed or shed, exactly once
+    completed_ids = [r.request_id for b in plan.batches for r in b.requests]
+    shed_ids = [r.request_id for r in plan.shed]
+    assert sorted(completed_ids + shed_ids) == sorted(
+        r.request_id for r in requests)
+    assert len(set(completed_ids)) == len(completed_ids)
+
+    prev_completion = 0.0
+    for b in plan.batches:
+        # size cap and causality
+        assert 1 <= b.num_requests <= policy.max_batch_size
+        assert all(b.dispatch_s >= r.arrival_s for r in b.requests)
+        # non-overlapping service on the single virtual server
+        assert b.dispatch_s >= prev_completion
+        assert b.completion_s == pytest.approx(b.dispatch_s + service_s)
+        # no starvation: a batch is cut no later than the moment the
+        # server frees up or the oldest member's wait bound expires,
+        # whichever is later (full-trigger cuts happen even earlier)
+        oldest = min(r.arrival_s for r in b.requests)
+        bound = max(prev_completion, oldest + policy.max_wait_s)
+        assert b.dispatch_s <= bound + 1e-9
+        prev_completion = b.completion_s
+
+    # batches dispatch in arrival order of their oldest members
+    oldest_arrivals = [min(r.arrival_s for r in b.requests)
+                      for b in plan.batches]
+    assert oldest_arrivals == sorted(oldest_arrivals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=TRACES, policy=POLICIES, service_s=SERVICE_S)
+def test_fuzz_shed_only_when_queue_full(arrivals, policy, service_s):
+    """Replaying the event loop: at each shed instant the queue must hold
+    exactly max_queue_depth requests that arrived earlier and had not yet
+    been dispatched."""
+    requests = [req(i, t) for i, t in enumerate(sorted(arrivals))]
+    plan = MicroBatcher(policy).plan(requests, const_service(service_s))
+    for shed in plan.shed:
+        waiting = 0
+        for r in requests:
+            if r.request_id == shed.request_id:
+                continue
+            if r.arrival_s > shed.arrival_s or (
+                    r.arrival_s == shed.arrival_s
+                    and r.request_id > shed.request_id):
+                continue
+            dispatched_by_then = any(
+                r in b.requests and b.dispatch_s <= shed.arrival_s
+                for b in plan.batches)
+            shed_before = any(s.request_id == r.request_id
+                              for s in plan.shed)
+            if not dispatched_by_then and not shed_before:
+                waiting += 1
+        assert waiting >= policy.max_queue_depth
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=TRACES, policy=POLICIES, service_s=SERVICE_S)
+def test_fuzz_determinism(arrivals, policy, service_s):
+    requests = [req(i, t) for i, t in enumerate(sorted(arrivals))]
+    a = MicroBatcher(policy).plan(requests, const_service(service_s))
+    b = MicroBatcher(policy).plan(list(reversed(requests)),
+                                  const_service(service_s))
+    assert [[r.request_id for r in x.requests] for x in a.batches] == \
+        [[r.request_id for r in x.requests] for x in b.batches]
+    assert [x.dispatch_s for x in a.batches] == \
+        [x.dispatch_s for x in b.batches]
+    assert [r.request_id for r in a.shed] == [r.request_id for r in b.shed]

@@ -1,0 +1,248 @@
+"""Tests for serving export: freeze parity, quantization, immutability.
+
+The headline guarantee is bitwise: an fp32 ``ServableModel.forward`` must
+equal the source model's eval forward exactly — against the reference
+DLRM and against the distributed trainer's ``eval_forward`` (with
+summation-order-preserving sharding schemes). Quantized paths get
+measured error bounds, and everything frozen must refuse writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comms import ClusterTopology
+from repro.core import NeoTrainer
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig, SparseSGD
+from repro.models import DLRM, DLRMConfig
+from repro.serving import FreezeConfig, ServableModel, freeze
+from repro.sharding import ShardingPlan, ShardingScheme, shard_table
+
+
+def make_config(num_tables=3, rows=150, dim=8, dense_dim=6):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", rows, dim, avg_pooling=3.0)
+                   for i in range(num_tables))
+    return DLRMConfig(dense_dim=dense_dim, bottom_mlp=(16, dim),
+                      tables=tables, top_mlp=(16,))
+
+
+def dataset_for(config, seed=0):
+    return SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                               seed=seed)
+
+
+def make_trainer(config, world=2, seed=0):
+    """Trainer with summation-order-preserving schemes only (table-wise /
+    data-parallel) so the frozen forward can be bitwise-compared; row-wise
+    sharding changes the reduce order and is only ever close, not equal."""
+    plan = ShardingPlan(world_size=world)
+    for i, t in enumerate(config.tables):
+        if i % 2 == 0:
+            plan.tables[t.name] = shard_table(
+                t, ShardingScheme.TABLE_WISE, [i % world])
+        else:
+            plan.tables[t.name] = shard_table(
+                t, ShardingScheme.DATA_PARALLEL, list(range(world)))
+    plan.validate()
+    return NeoTrainer(config, plan,
+                      ClusterTopology(num_nodes=1, gpus_per_node=world),
+                      dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
+                      sparse_optimizer=SparseSGD(lr=0.1), seed=seed)
+
+
+class TestFp32Parity:
+    def test_bitwise_vs_reference_dlrm(self):
+        config = make_config()
+        model = DLRM(config, seed=3)
+        servable = freeze(model)
+        batch = dataset_for(config).batch(32, 7)
+        np.testing.assert_array_equal(servable.forward(batch),
+                                      model.forward(batch))
+
+    def test_bitwise_vs_trainer_eval_forward(self):
+        config = make_config(num_tables=4)
+        trainer = make_trainer(config, world=2, seed=5)
+        ds = dataset_for(config, seed=9)
+        for i in range(3):
+            trainer.train_step(ds.batch(8, i).split(2))
+        batch = ds.batch(8, 50)
+        per_rank = trainer.eval_forward(batch.split(2))
+        servable = freeze(trainer)
+        np.testing.assert_array_equal(servable.forward(batch),
+                                      np.concatenate(per_rank))
+
+    def test_eval_forward_does_not_mutate(self):
+        config = make_config()
+        trainer = make_trainer(config)
+        ds = dataset_for(config)
+        trainer.train_step(ds.batch(8, 0).split(2))
+        shards = {t.name: trainer.plan.tables[t.name].shards[0]
+                  for t in config.tables}
+        before = {n: trainer._shard_tables[s].weight.copy()
+                  for n, s in shards.items()}
+        dense_before = [p.data.copy()
+                        for p in trainer.ranks[0].bottom.parameters()]
+        trainer.eval_forward(ds.batch(8, 1).split(2))
+        for n, s in shards.items():
+            np.testing.assert_array_equal(
+                trainer._shard_tables[s].weight, before[n])
+        for p, w in zip(trainer.ranks[0].bottom.parameters(), dense_before):
+            np.testing.assert_array_equal(p.data, w)
+
+    def test_eval_forward_validates_batches(self):
+        config = make_config()
+        trainer = make_trainer(config)
+        b = dataset_for(config).batch(8, 0)
+        with pytest.raises(ValueError):
+            trainer.eval_forward([b])  # wrong count for world=2
+
+    def test_predict_is_sigmoid_of_forward(self):
+        config = make_config()
+        model = DLRM(config, seed=1)
+        servable = freeze(model)
+        batch = dataset_for(config).batch(16, 0)
+        logits = servable.forward(batch)
+        np.testing.assert_allclose(servable.predict(batch),
+                                   1.0 / (1.0 + np.exp(-logits)), rtol=1e-6)
+
+
+class TestQuantizedFreeze:
+    @pytest.mark.parametrize("precision,bound", [
+        ("fp16", 1e-3), ("bf16", 8e-3), ("int8", 1e-2)])
+    def test_bounded_logit_error(self, precision, bound):
+        config = make_config()
+        model = DLRM(config, seed=3)
+        batch = dataset_for(config).batch(64, 2)
+        reference = model.forward(batch)
+        servable = freeze(model, FreezeConfig(precision=precision))
+        err = np.max(np.abs(servable.forward(batch) - reference))
+        assert 0 < err < bound
+
+    @pytest.mark.parametrize("precision", ["fp16", "bf16", "int8"])
+    def test_quantization_error_recorded(self, precision):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=3),
+                          FreezeConfig(precision=precision))
+        assert set(servable.quantization_error) == \
+            {t.name for t in config.tables}
+        assert servable.max_quantization_error() > 0
+
+    def test_fp32_has_zero_recorded_error(self):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=3))
+        assert servable.max_quantization_error() == 0.0
+
+    def test_storage_bytes_shrink_with_precision(self):
+        # dim wide enough that int8's per-row scale/offset overhead
+        # (8 bytes) stays below the payload saving vs fp16
+        config = make_config(dim=32)
+        model = DLRM(config, seed=0)
+        by_prec = {p: freeze(model, FreezeConfig(precision=p))
+                   .embedding_storage_bytes()
+                   for p in ("fp32", "fp16", "int8")}
+        assert by_prec["fp16"] == by_prec["fp32"] // 2
+        assert by_prec["int8"] < by_prec["fp16"]
+        emb_params = sum(t.num_parameters for t in config.tables)
+        rows = sum(t.num_embeddings for t in config.tables)
+        assert by_prec["int8"] == emb_params + rows * 8  # scale/offset pairs
+
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(ValueError):
+            FreezeConfig(precision="fp8")
+
+
+class TestHotColdPlacement:
+    def test_all_hot_by_default(self):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=0))
+        assert len(servable.hot_table_names) == len(config.tables)
+        assert servable.cold_table_names == []
+
+    def test_budget_splits_hot_cold(self):
+        config = make_config(num_tables=3, rows=150, dim=8)
+        table_bytes = 150 * 8 * 4
+        servable = freeze(DLRM(config, seed=0),
+                          FreezeConfig(hot_bytes=table_bytes * 1.5))
+        assert len(servable.hot_table_names) == 1
+        assert len(servable.cold_table_names) == 2
+
+    def test_cold_path_is_bitwise_exact(self):
+        config = make_config()
+        model = DLRM(config, seed=4)
+        servable = freeze(model, FreezeConfig(hot_bytes=0.0))
+        assert servable.hot_tables is None
+        assert len(servable.cold_table_names) == len(config.tables)
+        batch = dataset_for(config).batch(32, 3)
+        np.testing.assert_array_equal(servable.forward(batch),
+                                      model.forward(batch))
+
+    def test_cold_tables_count_cache_traffic(self):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=4),
+                          FreezeConfig(hot_bytes=0.0))
+        ds = dataset_for(config)
+        for i in range(3):
+            servable.forward(ds.batch(32, i))
+        for name in servable.cold_table_names:
+            stats = servable.cold_tables[name].cache.stats
+            assert stats.accesses > 0
+            assert stats.hits > 0  # Zipf ids revisit hot rows
+
+
+class TestImmutability:
+    def test_dense_weights_frozen(self):
+        servable = freeze(DLRM(make_config(), seed=0))
+        with pytest.raises(ValueError):
+            servable.bottom.parameters()[0].data[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            servable.top.parameters()[-1].data[...] = 0.0
+
+    def test_arena_storage_and_views_frozen(self):
+        servable = freeze(DLRM(make_config(), seed=0))
+        arena = servable.hot_tables.arena
+        for group in arena.groups:
+            with pytest.raises(ValueError):
+                group.storage[0, 0] = 1.0
+            for view in group.views:
+                with pytest.raises(ValueError):
+                    view[0, 0] = 1.0
+
+    def test_cold_backing_frozen(self):
+        servable = freeze(DLRM(make_config(), seed=0),
+                          FreezeConfig(hot_bytes=0.0))
+        for name in servable.cold_table_names:
+            backing = servable.cold_tables[name].backing
+            with pytest.raises(ValueError):
+                backing.rows[0, 0] = 1.0
+
+    def test_source_model_stays_trainable(self):
+        config = make_config()
+        model = DLRM(config, seed=0)
+        freeze(model)
+        ds = dataset_for(config)
+        opt = nn.SGD(model.dense_parameters(), lr=0.1)
+        model.train_step(ds.batch(8, 0), opt, SparseSGD(lr=0.1))  # no raise
+
+
+class TestFreezeValidation:
+    def test_rejects_non_model(self):
+        with pytest.raises(TypeError):
+            freeze(object())
+
+    def test_servable_is_dataclass_with_footprint(self):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=0))
+        assert isinstance(servable, ServableModel)
+        assert servable.storage_bytes() == \
+            servable.embedding_storage_bytes() + \
+            servable.dense_storage_bytes()
+        assert servable.dense_storage_bytes() == \
+            config.num_dense_parameters() * 4
+
+    def test_nnz_counts_all_features(self):
+        config = make_config()
+        servable = freeze(DLRM(config, seed=0))
+        batch = dataset_for(config).batch(16, 0)
+        expected = sum(len(ids) for ids, _ in batch.sparse.values())
+        assert servable.nnz(batch) == expected

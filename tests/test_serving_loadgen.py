@@ -1,0 +1,145 @@
+"""Load-generator and SLO-report tests: seeded determinism and accounting.
+
+An open-loop Poisson trace must be exactly reproducible from its seed,
+statistically honest about its offered rate, and the report derived
+from a serve run must account for every offered request.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig
+from repro.models import DLRM, DLRMConfig
+from repro.serving import (BatchingPolicy, InferenceServer, LoadReport,
+                           PoissonLoadGen, ServingPerfModel, freeze,
+                           run_load_test)
+from repro.serving.loadgen import summarize
+
+
+def make_setup(seed=3):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", 200, 8, avg_pooling=3.0)
+                   for i in range(3))
+    config = DLRMConfig(dense_dim=6, bottom_mlp=(16, 8), tables=tables,
+                        top_mlp=(16,))
+    ds = SyntheticCTRDataset(tables, dense_dim=6, seed=seed)
+    return freeze(DLRM(config, seed=seed)), ds
+
+
+class TestPoissonLoadGen:
+    def test_same_seed_same_trace(self):
+        a = PoissonLoadGen(qps=1000, num_requests=50, seed=7)
+        b = PoissonLoadGen(qps=1000, num_requests=50, seed=7)
+        np.testing.assert_array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_different_seed_different_trace(self):
+        a = PoissonLoadGen(qps=1000, num_requests=50, seed=7)
+        b = PoissonLoadGen(qps=1000, num_requests=50, seed=8)
+        assert not np.array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_mean_rate_approximates_qps(self):
+        gen = PoissonLoadGen(qps=500, num_requests=4000, seed=0)
+        arrivals = gen.arrival_times()
+        measured = len(arrivals) / arrivals[-1]
+        assert measured == pytest.approx(500, rel=0.1)
+
+    def test_arrivals_increase_from_start(self):
+        gen = PoissonLoadGen(qps=100, num_requests=20, seed=1, start_s=5.0)
+        arrivals = gen.arrival_times()
+        assert arrivals[0] > 5.0
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_requests_slice_the_bulk_batch(self):
+        _, ds = make_setup()
+        gen = PoissonLoadGen(qps=100, num_requests=10, seed=2)
+        requests = gen.requests(ds)
+        bulk = ds.batch(10, batch_index=2)
+        assert [r.request_id for r in requests] == list(range(10))
+        for i, r in enumerate(requests):
+            assert r.num_samples == 1
+            np.testing.assert_array_equal(r.batch.dense, bulk.dense[i:i + 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonLoadGen(qps=0, num_requests=10)
+        with pytest.raises(ValueError):
+            PoissonLoadGen(qps=10, num_requests=0)
+
+
+class TestLoadReport:
+    def test_accounting_conserves_requests(self):
+        model, ds = make_setup()
+        # tiny queue + slow server forces sheds
+        server = InferenceServer(
+            model, BatchingPolicy(max_batch_size=4, max_wait_s=1e-4,
+                                  max_queue_depth=4),
+            ServingPerfModel(overhead_s=5e-3))
+        report = run_load_test(server, ds, qps=5000, num_requests=200,
+                               slo_s=5e-3, seed=0)
+        assert report.num_offered == 200
+        assert report.num_completed + report.num_shed == 200
+        assert report.num_shed > 0
+        assert 0 < report.shed_fraction < 1
+
+    def test_seeded_report_is_exactly_reproducible(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        a = run_load_test(server, ds, qps=2000, num_requests=150,
+                          slo_s=5e-3, seed=4)
+        b = run_load_test(server, ds, qps=2000, num_requests=150,
+                          slo_s=5e-3, seed=4)
+        assert a == b
+
+    def test_percentiles_ordered(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        report = run_load_test(server, ds, qps=2000, num_requests=150,
+                               slo_s=5e-3, seed=0)
+        assert 0 < report.p50_s <= report.p95_s <= report.p99_s \
+            <= report.max_s
+        assert report.makespan_s > 0
+
+    def test_goodput_counts_only_within_slo(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        out = []
+        report = run_load_test(server, ds, qps=2000, num_requests=100,
+                               slo_s=5e-3, seed=0, result_out=out)
+        result = out[0]
+        within = int(np.sum(result.latencies_s() <= report.slo_s))
+        assert report.goodput_qps == pytest.approx(
+            within / result.makespan_s())
+        assert report.slo_attainment == pytest.approx(within / 100)
+        # under light load everything meets a 5 ms SLO
+        assert report.slo_attainment == 1.0
+        assert report.goodput_qps == pytest.approx(report.completed_qps)
+
+    def test_impossible_slo_zeroes_goodput(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        report = run_load_test(server, ds, qps=2000, num_requests=100,
+                               slo_s=1e-9, seed=0)
+        assert report.goodput_qps == 0.0
+        assert report.slo_attainment == 0.0
+        assert report.completed_qps > 0  # work still happened
+
+    def test_row_matches_header(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        report = run_load_test(server, ds, qps=2000, num_requests=50,
+                               slo_s=5e-3, seed=0)
+        assert len(report.row()) == len(LoadReport.ROW_HEADER)
+
+    def test_summarize_empty_result(self):
+        from repro.serving import ServeResult
+        report = summarize(ServeResult(), offered_qps=100, num_offered=0,
+                           slo_s=1e-3)
+        assert report.num_completed == 0
+        assert report.goodput_qps == 0.0
+        assert report.shed_fraction == 0.0
+
+    def test_rejects_bad_slo(self):
+        model, ds = make_setup()
+        server = InferenceServer(model)
+        with pytest.raises(ValueError):
+            run_load_test(server, ds, qps=100, num_requests=10, slo_s=0.0)

@@ -1,0 +1,141 @@
+"""Inference-server tests: real forwards behind the batcher, modeled time.
+
+Served responses must equal direct single-request predictions exactly
+(batching is a scheduling decision, never a numerics decision), the
+perf model must price batches sensibly (amortized overhead, hierarchy
+slowdown when the model spills HBM), and the obs wiring must account
+for every request.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig
+from repro.models import DLRM, DLRMConfig
+from repro.obs import MetricRegistry, Tracer
+from repro.perf import PlatformSpec
+from repro.serving import (BatchingPolicy, InferenceRequest, InferenceServer,
+                           ServingPerfModel, freeze)
+
+
+def make_servable(num_tables=3, rows=200, dim=8, dense_dim=6, seed=3):
+    tables = tuple(EmbeddingTableConfig(f"t{i}", rows, dim, avg_pooling=3.0)
+                   for i in range(num_tables))
+    config = DLRMConfig(dense_dim=dense_dim, bottom_mlp=(16, dim),
+                        tables=tables, top_mlp=(16,))
+    return freeze(DLRM(config, seed=seed)), \
+        SyntheticCTRDataset(tables, dense_dim=dense_dim, seed=seed)
+
+
+def make_requests(dataset, n, spacing_s=1e-4):
+    bulk = dataset.batch(n, batch_index=0)
+    return [InferenceRequest(request_id=i, arrival_s=i * spacing_s,
+                             batch=bulk.slice(i, i + 1))
+            for i in range(n)]
+
+
+class TestServe:
+    def test_responses_match_unbatched_predict(self):
+        model, ds = make_servable()
+        requests = make_requests(ds, 20)
+        server = InferenceServer(model, BatchingPolicy(max_batch_size=8,
+                                                       max_wait_s=1e-3))
+        result = server.serve(requests)
+        assert result.num_completed == 20
+        # coalesced forward == per-request forward up to BLAS kernel
+        # selection (matmul blocking differs by batch shape, so bitwise
+        # equality across batch sizes is not guaranteed)
+        for r in requests:
+            np.testing.assert_allclose(result.responses[r.request_id],
+                                       model.predict(r.batch),
+                                       rtol=1e-6, atol=1e-6)
+
+    def test_outcomes_sorted_and_accounted(self):
+        model, ds = make_servable()
+        requests = make_requests(ds, 12)
+        server = InferenceServer(model)
+        result = server.serve(requests)
+        ids = [o.request_id for o in result.outcomes]
+        assert ids == sorted(ids) == list(range(12))
+        for o in result.outcomes:
+            assert o.completion_s > o.dispatch_s >= o.arrival_s
+            assert o.latency_s > 0
+
+    def test_shed_requests_have_no_response(self):
+        model, ds = make_servable()
+        requests = make_requests(ds, 10, spacing_s=0.0)
+        server = InferenceServer(
+            model, BatchingPolicy(max_batch_size=2, max_wait_s=10.0,
+                                  max_queue_depth=2),
+            ServingPerfModel(overhead_s=1.0))  # huge service time
+        result = server.serve(requests)
+        assert result.num_shed > 0
+        assert result.num_completed + result.num_shed == 10
+        for rid in result.shed_ids:
+            assert rid not in result.responses
+
+    def test_metrics_and_spans_recorded(self):
+        model, ds = make_servable()
+        registry = MetricRegistry()
+        tracer = Tracer(clock="logical")
+        server = InferenceServer(model, tracer=tracer, metrics=registry)
+        server.serve(make_requests(ds, 8))
+        snap = registry.snapshot()
+        assert snap["serving.requests"] == 8
+        assert snap["serving.completed"] == 8
+        assert snap["serving.shed"] == 0
+        assert snap["serving.samples"] == 8
+        assert snap["serving.batches"] >= 1
+        names = {e.name for e in tracer.trace.closed_events()}
+        assert {"serving.batch", "serving.forward"} <= names
+
+    def test_deterministic_replay(self):
+        model, ds = make_servable()
+        server = InferenceServer(model)
+        a = server.serve(make_requests(ds, 15))
+        b = server.serve(make_requests(ds, 15))
+        assert [o.completion_s for o in a.outcomes] == \
+            [o.completion_s for o in b.outcomes]
+
+
+class TestServingPerfModel:
+    def test_batched_amortizes_overhead(self):
+        model, _ = make_servable()
+        perf = ServingPerfModel()
+        t1 = perf.service_time(model, 1, 10)
+        t64 = perf.service_time(model, 64, 640)
+        assert t64 < 64 * t1  # batching must be cheaper than 64 singles
+        assert t64 > t1       # but not free
+
+    def test_capacity_grows_with_batch(self):
+        model, _ = make_servable()
+        perf = ServingPerfModel()
+        q1 = perf.capacity_qps(model, 1, 10.0)
+        q64 = perf.capacity_qps(model, 64, 10.0)
+        assert q64 > 2 * q1
+
+    def test_hbm_overflow_degrades_bandwidth(self):
+        model, _ = make_servable()
+        tiny = PlatformSpec(name="tiny",
+                            hbm_per_node_bytes=model.storage_bytes() / 4,
+                            dram_per_node_bytes=1e12,
+                            hbm_bw_per_node=850e9, dram_link_bw_per_node=12e9)
+        fits = ServingPerfModel()
+        spills = ServingPerfModel(platform=tiny)
+        assert fits.bw_fraction(model) == 1.0
+        assert spills.bw_fraction(model) < 1.0
+        assert spills.service_time(model, 32, 320) > \
+            fits.service_time(model, 32, 320)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingPerfModel(nodes=0)
+        with pytest.raises(ValueError):
+            ServingPerfModel(overhead_s=-1.0)
+        model, _ = make_servable()
+        perf = ServingPerfModel()
+        with pytest.raises(ValueError):
+            perf.service_time(model, 0, 1)
+        with pytest.raises(ValueError):
+            perf.service_time(model, 1, -1)
