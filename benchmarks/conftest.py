@@ -17,6 +17,12 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every collected item in this directory is a benchmark entry."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def record_rows(benchmark, title, header, rows):
     """Attach a small results table to the benchmark report and print it."""
     benchmark.extra_info["title"] = title

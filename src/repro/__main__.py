@@ -14,6 +14,11 @@
   replays a seeded Poisson arrival trace through the micro-batching
   inference server at several offered loads, printing the SLO report
   (p50/p99, goodput, shed rate) per load, batched vs unbatched.
+* ``python -m repro online-bench`` — runs the train-while-serving
+  co-simulation at several snapshot refresh cadences (atomic hot-swap
+  through the double-buffered model slot) and prints the staleness vs
+  held-out-NE vs goodput curve; ``--freshness-budget-s`` derives the
+  cadence from the :mod:`repro.perf.online` cluster sizing instead.
 """
 
 from __future__ import annotations
@@ -198,6 +203,79 @@ def serve_bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def online_bench_command(args: argparse.Namespace) -> int:
+    """Sweep refresh cadences through the co-simulation and print the
+    staleness vs quality vs goodput curve."""
+    from repro import nn
+    from repro.comms import ClusterTopology
+    from repro.core import NeoTrainer, TrainingLoop
+    from repro.data import SyntheticCTRDataset
+    from repro.embedding import SparseAdaGrad
+    from repro.models import full_spec, mini_config
+    from repro.online import OnlineConfig, cadence_from_sizing, \
+        run_cadence_sweep
+    from repro.online.report import OnlineReport, render_table
+    from repro.sharding import PlannerConfig
+
+    if args.steps < 1 or args.ranks < 1 or args.batch < 1:
+        print("error: --steps, --ranks and --batch must be positive",
+              file=sys.stderr)
+        return 2
+    if args.batch % args.ranks:
+        print(f"error: --batch {args.batch} must be divisible by "
+              f"--ranks {args.ranks}", file=sys.stderr)
+        return 2
+
+    step_time_s = args.step_time_ms * 1e-3
+    cadences = [int(c) for c in args.cadences.split(",")]
+    if args.freshness_budget_s is not None:
+        # paper-scale linkage: the smallest cluster meeting the target
+        # training QPS sets the step time; the freshness budget sets the
+        # cadence. The co-sim then runs the mini model on that clock.
+        swap_every, step_time_s, sizing = cadence_from_sizing(
+            full_spec(args.model), args.target_qps,
+            args.freshness_budget_s)
+        print(f"sizing: {sizing.nodes} nodes at "
+              f"{sizing.achieved_qps / 1e6:.2f} M samples/s -> step "
+              f"{step_time_s * 1e3:.1f} ms, swap every {swap_every} "
+              f"steps for a {args.freshness_budget_s:.0f} s budget\n")
+        if swap_every not in cadences:
+            cadences = sorted(c for c in cadences if c) + [swap_every, 0]
+
+    config = mini_config(args.model)
+
+    def make_loop():
+        trainer = NeoTrainer.from_planner(
+            config, ClusterTopology(num_nodes=1, gpus_per_node=args.ranks),
+            dense_optimizer=lambda p: nn.SGD(p, lr=0.05),
+            sparse_optimizer=SparseAdaGrad(lr=0.05), seed=args.seed,
+            planner_config=PlannerConfig(world_size=args.ranks,
+                                         ranks_per_node=args.ranks,
+                                         dp_threshold_rows=64))
+        dataset = SyntheticCTRDataset(config.tables,
+                                      dense_dim=config.dense_dim,
+                                      seed=args.seed + 1)
+        return TrainingLoop(trainer, dataset, global_batch_size=args.batch,
+                            eval_every=10 ** 6)
+
+    cosim_config = OnlineConfig(
+        num_steps=args.steps, swap_every_steps=1,
+        train_step_time_s=step_time_s, qps=args.qps,
+        slo_s=args.slo_ms * 1e-3, seed=args.seed,
+        eval_batch_size=args.eval_batch)
+    print(f"online-bench: {args.model} mini, {args.ranks} ranks, "
+          f"{args.steps} steps at {step_time_s * 1e3:.1f} ms/step, "
+          f"{args.qps:.0f} qps offered, cadences "
+          f"{', '.join('never' if c == 0 else str(c) for c in cadences)}\n")
+    report = run_cadence_sweep(make_loop, cadences, cosim_config)
+    print(render_table(OnlineReport.ROW_HEADER, report.rows()))
+    print(f"\nfresh model NE: {report.fresh_ne:.5f}")
+    print(f"completed hot-swaps: {report.total_swaps()}, shed during "
+          f"swap: {report.max_shed_during_swap()}, staleness->NE-gap "
+          f"monotone: {report.ne_gap_monotone_in_staleness()}")
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.models import MODEL_NAMES
 
@@ -241,12 +319,44 @@ def main(argv=None) -> int:
                          help="micro-batcher max wait in microseconds")
     serve_p.add_argument("--seed", type=int, default=0,
                          help="load / model / dataset seed")
+    online_p = sub.add_parser(
+        "online-bench",
+        help="co-simulate train-while-serving across refresh cadences")
+    online_p.add_argument("--model", default="A2", choices=MODEL_NAMES,
+                          help="Table 3 model whose mini config to co-sim")
+    online_p.add_argument("--steps", type=int, default=6,
+                          help="training steps in the co-simulation")
+    online_p.add_argument("--ranks", type=int, default=2,
+                          help="simulated training ranks (single node)")
+    online_p.add_argument("--batch", type=int, default=32,
+                          help="global training batch size")
+    online_p.add_argument("--step-time-ms", type=float, default=10.0,
+                          help="virtual seconds per training step, in ms")
+    online_p.add_argument("--qps", type=float, default=500.0,
+                          help="offered serving load")
+    online_p.add_argument("--slo-ms", type=float, default=5.0,
+                          help="latency SLO in milliseconds")
+    online_p.add_argument("--cadences", default="1,3,0",
+                          help="comma-separated swap cadences (0 = never)")
+    online_p.add_argument("--eval-batch", type=int, default=128,
+                          help="held-out batch size for snapshot NE")
+    online_p.add_argument("--freshness-budget-s", type=float, default=None,
+                          metavar="S",
+                          help="derive step time and cadence from the "
+                               "perf.online cluster sizing for --model")
+    online_p.add_argument("--target-qps", type=float, default=2e6,
+                          help="training samples/s target for the sizing "
+                               "(with --freshness-budget-s)")
+    online_p.add_argument("--seed", type=int, default=0,
+                          help="traffic / model / dataset seed")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return trace_command(args)
     if args.command == "serve-bench":
         return serve_bench_command(args)
+    if args.command == "online-bench":
+        return online_bench_command(args)
     return selfcheck()
 
 

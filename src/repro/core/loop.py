@@ -18,7 +18,7 @@ counters, LR schedulers) is rewound to match, and training resumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 
 from ..data.datagen import SyntheticCTRDataset
@@ -115,7 +115,18 @@ class TrainingLoop:
                                    self.EVAL_OFFSET + batch_index)
         return normalized_entropy(model.predict_proba(batch), batch.labels)
 
-    def run(self, num_steps: int) -> TrainingResult:
+    def run(self, num_steps: int,
+            on_step: Optional[Callable[[int], None]] = None
+            ) -> TrainingResult:
+        """Train for ``num_steps`` iterations.
+
+        ``on_step``, if given, is called with the 0-based step index
+        after each completed iteration (post train/eval/checkpoint
+        bookkeeping) — the hook the online co-simulation uses to freeze
+        and hot-swap snapshots at its refresh cadence. Under recovery,
+        replayed steps fire the hook again, mirroring what a restarted
+        production loop would do.
+        """
         result = TrainingResult()
         self._best = float("inf")
         self._since_best = 0
@@ -130,6 +141,8 @@ class TrainingLoop:
                     raise
                 step = self._recover(failure, result)
                 continue
+            if on_step is not None:
+                on_step(step)
             if stop:
                 result.stopped_early = True
                 break

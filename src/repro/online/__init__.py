@@ -1,0 +1,37 @@
+"""Online training: the train-while-serving loop, closed.
+
+This package connects the two halves of the repo into the system the
+paper actually describes — a trainer that never stops and a serving
+fleet that never goes stale by more than its refresh cadence:
+
+* :mod:`repro.online.slot` — :class:`ModelSlot`, the double-buffered
+  atomic hot-swap point; versioned snapshots, monotone publishes,
+  dispatch-time version binding so in-flight requests are never dropped
+  or re-priced;
+* :mod:`repro.online.cosim` — :class:`CoSimulation`, the deterministic
+  co-simulation of a :class:`~repro.core.TrainingLoop` and a fleet of
+  :class:`~repro.serving.InferenceServer` replicas on one virtual
+  clock, with per-request staleness accounting;
+* :mod:`repro.online.report` — the staleness-vs-NE-vs-goodput cadence
+  sweep (:func:`run_cadence_sweep` / :class:`OnlineReport`) and the
+  :mod:`repro.perf.online`-driven cadence derivation
+  (:func:`cadence_from_sizing`).
+"""
+
+from .cosim import CoSimResult, CoSimulation, OnlineConfig
+from .report import (CadencePoint, OnlineReport, cadence_from_sizing,
+                     point_from_result, run_cadence_sweep)
+from .slot import ModelSlot, Snapshot
+
+__all__ = [
+    "ModelSlot",
+    "Snapshot",
+    "OnlineConfig",
+    "CoSimulation",
+    "CoSimResult",
+    "CadencePoint",
+    "OnlineReport",
+    "point_from_result",
+    "run_cadence_sweep",
+    "cadence_from_sizing",
+]

@@ -1,0 +1,160 @@
+"""The atomic hot-swap point between training and serving.
+
+A :class:`ModelSlot` is the single mutable cell a serving replica reads
+its model from. It is *double buffered*: the slot always holds an
+``active`` snapshot and (after the first swap) the previously active one
+in the ``standby`` buffer, so a swap is one pointer flip — the
+copy-on-swap discipline. Nothing about a swap can perturb requests that
+are already in flight:
+
+* a dispatched batch resolves its model by **dispatch time** through
+  :meth:`snapshot_at`, so a swap landing mid-service leaves the batch
+  answered by the snapshot it was dispatched against;
+* published snapshots are immutable :class:`~repro.serving.ServableModel`
+  artifacts (``freeze`` marks every weight array read-only), so the
+  trainer mutating its own weights after a freeze cannot bleed into a
+  response;
+* versions are strictly monotone and publish times non-decreasing —
+  :meth:`publish` rejects anything that would make a reader observe time
+  or versions running backwards.
+
+Every publish emits a ``serving.swap`` span and bumps the
+``serving.swaps`` counter / ``serving.model_version`` gauge, which is
+how the co-simulation's staleness accounting and the trace viewer see
+the swap timeline.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..obs.metrics import MetricRegistry
+from ..obs.tracer import as_tracer
+from ..serving.export import ServableModel
+
+__all__ = ["Snapshot", "ModelSlot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published model version: the artifact plus its provenance.
+
+    ``step`` is the number of training steps the model had completed
+    when it was frozen; ``publish_s`` is the virtual time the snapshot
+    became the active one. Staleness of a response answered by this
+    snapshot at time ``t`` is ``t - publish_s`` seconds, or
+    ``steps_trained_by(t) - step`` steps.
+    """
+
+    version: int
+    model: ServableModel
+    step: int
+    publish_s: float
+
+
+class ModelSlot:
+    """Double-buffered, versioned holder of the currently served model."""
+
+    def __init__(self, initial: ServableModel, step: int = 0,
+                 publish_s: float = 0.0, tracer=None,
+                 metrics: Optional[MetricRegistry] = None) -> None:
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._scope = self.metrics.scope("serving")
+        self.history: List[Snapshot] = []
+        self._publish_times: List[float] = []
+        # the two buffers of the double buffer; [active_index] is live
+        self._buffers: List[Optional[Snapshot]] = [None, None]
+        self._active_index = 0
+        self._install(Snapshot(version=0, model=initial, step=step,
+                               publish_s=publish_s))
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> Snapshot:
+        """The snapshot a request dispatched *now* would be answered by."""
+        return self._buffers[self._active_index]
+
+    @property
+    def standby(self) -> Optional[Snapshot]:
+        """The previously active snapshot (None before the first swap).
+
+        Kept referenced so batches dispatched against it before the swap
+        stay valid for as long as they are in flight.
+        """
+        return self._buffers[1 - self._active_index]
+
+    @property
+    def version(self) -> int:
+        return self.active.version
+
+    @property
+    def num_swaps(self) -> int:
+        """Completed hot-swaps (publishes after the initial install)."""
+        return len(self.history) - 1
+
+    # ------------------------------------------------------------------
+    def _install(self, snap: Snapshot) -> None:
+        # write the standby buffer first, then flip the index: the flip
+        # is the single atomic action of the swap
+        standby_index = 1 - self._active_index if self.history else 0
+        self._buffers[standby_index] = snap
+        self._active_index = standby_index
+        self.history.append(snap)
+        self._publish_times.append(snap.publish_s)
+        self._scope.gauge("model_version").set(snap.version)
+
+    def publish(self, model: ServableModel, step: int,
+                publish_s: float) -> Snapshot:
+        """Atomically swap ``model`` in as the active snapshot.
+
+        The new snapshot must be freshly frozen (read-only weights), of
+        the same architecture and storage precision as the initial one
+        (the schedule is priced once against the model *shape*, so a
+        swap must never re-price an in-flight request), trained at least
+        as far, and published no earlier than the current snapshot.
+        """
+        current = self.active
+        if model.config != current.model.config:
+            raise ValueError(
+                "published model architecture differs from the slot's; "
+                "hot-swap requires config-identical snapshots")
+        if model.precision != current.model.precision:
+            raise ValueError(
+                f"published precision {model.precision!r} != slot "
+                f"precision {current.model.precision!r}")
+        if step < current.step:
+            raise ValueError(
+                f"snapshot step must not decrease: {step} < {current.step}")
+        if publish_s < current.publish_s:
+            raise ValueError(
+                f"publish time must not decrease: {publish_s} < "
+                f"{current.publish_s}")
+        snap = Snapshot(version=current.version + 1, model=model, step=step,
+                        publish_s=publish_s)
+        with self.tracer.span("serving.swap", cat="serving",
+                              version=snap.version, step=snap.step,
+                              publish_s=snap.publish_s):
+            self._install(snap)
+        self._scope.counter("swaps").inc(1)
+        return snap
+
+    # ------------------------------------------------------------------
+    def snapshot_at(self, t: float) -> Snapshot:
+        """The snapshot active at virtual time ``t`` — what a batch
+        dispatched at ``t`` is answered by, regardless of later swaps."""
+        first = self.history[0]
+        if t < first.publish_s:
+            raise ValueError(
+                f"no snapshot active at t={t} (first publish at "
+                f"{first.publish_s})")
+        i = bisect_right(self._publish_times, t)
+        return self.history[i - 1]
+
+    def snapshot(self, version: int) -> Snapshot:
+        """Look up a published snapshot by version number."""
+        if not 0 <= version < len(self.history):
+            raise KeyError(f"no snapshot with version {version}")
+        return self.history[version]

@@ -141,6 +141,9 @@ class ServableModel:
     hot_tables: Optional[FusedEmbeddingCollection]
     cold_tables: Dict[str, _ColdTable]
     quantization_error: Dict[str, float] = field(default_factory=dict)
+    # training steps the source had completed at freeze time — snapshot
+    # provenance the online hot-swap slot uses for staleness accounting
+    source_step: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -212,14 +215,19 @@ def _freeze_array(a: np.ndarray) -> np.ndarray:
     return a
 
 
-def freeze(source, config: Optional[FreezeConfig] = None) -> ServableModel:
+def freeze(source, config: Optional[FreezeConfig] = None,
+           step: Optional[int] = None) -> ServableModel:
     """Snapshot a trainer or reference model into a :class:`ServableModel`.
 
     ``source`` is a :class:`repro.core.NeoTrainer` (exported via its
     ``to_local_model``, i.e. rank-0 dense replicas + gathered shards) or
-    a :class:`repro.models.DLRM`.
+    a :class:`repro.models.DLRM`. ``step`` overrides the recorded
+    training-step provenance; by default a trainer's own step counter is
+    stamped onto the artifact (``source_step``).
     """
     cfg = config if config is not None else FreezeConfig()
+    if step is None:
+        step = int(getattr(source, "steps", 0))
     model = source.to_local_model() if hasattr(source, "to_local_model") \
         else source
     if not isinstance(model, DLRM):
@@ -291,4 +299,4 @@ def freeze(source, config: Optional[FreezeConfig] = None) -> ServableModel:
         config=dlrm_config, precision=cfg.precision, bottom=bottom, top=top,
         interaction=dlrm_config.make_interaction(), projections=projections,
         hot_tables=hot_collection, cold_tables=cold,
-        quantization_error=errors)
+        quantization_error=errors, source_step=step)

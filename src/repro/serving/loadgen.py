@@ -43,6 +43,21 @@ class PoissonLoadGen:
         if self.num_requests < 1:
             raise ValueError("num_requests must be >= 1")
 
+    @classmethod
+    def for_duration(cls, qps: float, duration_s: float, seed: int = 0,
+                     start_s: float = 0.0) -> "PoissonLoadGen":
+        """A generator sized to cover ``duration_s`` of virtual time at
+        the offered rate (expected arrival count, at least one request).
+
+        The co-simulation uses this to stretch serving traffic over a
+        training run's makespan; being a Poisson process, the actual
+        last arrival lands near — not exactly at — the horizon.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        return cls(qps=qps, num_requests=max(1, int(round(qps * duration_s))),
+                   seed=seed, start_s=start_s)
+
     def arrival_times(self) -> np.ndarray:
         """Cumulative exponential inter-arrival gaps at rate ``qps``."""
         rng = np.random.default_rng((self.seed, 0xA881))

@@ -119,13 +119,19 @@ class ServingPerfModel:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """Completion record of one served request (virtual-time accounting)."""
+    """Completion record of one served request (virtual-time accounting).
+
+    ``model_version`` is the version of the snapshot that answered the
+    request — 0 for a fixed-model server, the :class:`ModelSlot` version
+    bound at dispatch time when serving through a hot-swap slot.
+    """
 
     request_id: int
     arrival_s: float
     dispatch_s: float
     completion_s: float
     batch_samples: int
+    model_version: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -152,6 +158,13 @@ class ServeResult:
     def latencies_s(self) -> np.ndarray:
         return np.array([o.latency_s for o in self.outcomes],
                         dtype=np.float64)
+
+    def requests_per_version(self) -> Dict[int, int]:
+        """Completed-request count by answering model version."""
+        out: Dict[int, int] = {}
+        for o in self.outcomes:
+            out[o.model_version] = out.get(o.model_version, 0) + 1
+        return out
 
     def percentile_s(self, q: float) -> float:
         lat = self.latencies_s()
@@ -195,15 +208,18 @@ class InferenceServer:
         nnz = sum(self.model.nnz(r.batch) for r in requests)
         return self.perf.service_time(self.model, batch_size, nnz)
 
-    def _execute(self, scheduled: ScheduledBatch) -> Dict[int, np.ndarray]:
+    def _execute(self, scheduled: ScheduledBatch,
+                 model: Optional[ServableModel] = None
+                 ) -> Dict[int, np.ndarray]:
         """Run the real forward for one scheduled batch and scatter the
         per-request probability rows."""
+        model = model if model is not None else self.model
         with self.tracer.span("serving.forward", cat="serving",
                               requests=scheduled.num_requests,
                               samples=scheduled.num_samples):
             merged = MiniBatch.concat(
                 [r.batch for r in scheduled.requests])
-            probs = self.model.predict(merged)
+            probs = model.predict(merged)
         out: Dict[int, np.ndarray] = {}
         row = 0
         for r in scheduled.requests:
@@ -211,8 +227,21 @@ class InferenceServer:
             row += r.num_samples
         return out
 
-    def serve(self, requests: Sequence[InferenceRequest]) -> ServeResult:
-        """Serve a full arrival trace; returns the per-request record."""
+    def serve(self, requests: Sequence[InferenceRequest],
+              slot=None) -> ServeResult:
+        """Serve a full arrival trace; returns the per-request record.
+
+        With ``slot`` (a :class:`repro.online.ModelSlot`), every
+        dispatched batch is answered by ``slot.snapshot_at(dispatch_s)``
+        — the snapshot active at its dispatch time — and outcomes carry
+        that snapshot's version. The *schedule* is still priced once
+        against ``self.model``: hot-swapped snapshots are
+        config-identical by the slot's publish contract, so the
+        service-time model is version-invariant and a swap never
+        re-prices (or delays, or drops) an in-flight request. The plan
+        with swaps is therefore bitwise-identical to the fixed-model
+        plan; only the answering weights differ.
+        """
         plan = self.batcher.plan(list(requests), self._service_time)
         result = ServeResult(plan=plan)
         batch_hist = self._scope.histogram("batch_size")
@@ -224,11 +253,17 @@ class InferenceServer:
         samples_ctr = self._scope.counter("samples")
         requests_ctr.inc(len(requests))
         for scheduled in plan.batches:
+            if slot is None:
+                snapshot_model, version = None, 0
+            else:
+                snapshot = slot.snapshot_at(scheduled.dispatch_s)
+                snapshot_model, version = snapshot.model, snapshot.version
             with self.tracer.span("serving.batch", cat="serving",
                                   requests=scheduled.num_requests,
                                   trigger=scheduled.trigger,
-                                  dispatch_s=scheduled.dispatch_s):
-                responses = self._execute(scheduled)
+                                  dispatch_s=scheduled.dispatch_s,
+                                  model_version=version):
+                responses = self._execute(scheduled, model=snapshot_model)
             result.responses.update(responses)
             batches_ctr.inc(1)
             samples_ctr.inc(scheduled.num_samples)
@@ -239,7 +274,8 @@ class InferenceServer:
                     request_id=r.request_id, arrival_s=r.arrival_s,
                     dispatch_s=scheduled.dispatch_s,
                     completion_s=scheduled.completion_s,
-                    batch_samples=scheduled.num_samples)
+                    batch_samples=scheduled.num_samples,
+                    model_version=version)
                 result.outcomes.append(outcome)
                 latency_hist.record(outcome.latency_s)
         result.shed_ids = sorted(r.request_id for r in plan.shed)

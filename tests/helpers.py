@@ -1,12 +1,176 @@
-"""Shared test utilities: numerical gradient checking and tolerances."""
+"""Shared test utilities: the tiny-system fixture factory, numerical
+gradient checking and tolerances.
+
+``tiny_system`` (and the smaller builders it composes) replaces the
+hand-rolled "small DLRM + trainer + frozen servable + batcher" setup
+that used to be copy-pasted across the serving and resilience suites.
+Defaults are laptop-tiny and deterministic; every knob the suites
+actually vary (table count/rows/dims, world size, sharding style,
+optimizer momentum, fault-injecting process groups) is a parameter.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import nn
+from repro.comms import ClusterTopology
+from repro.core import NeoTrainer, TrainingLoop
+from repro.data import MiniBatch, SyntheticCTRDataset
+from repro.embedding import EmbeddingTableConfig, SparseSGD
+from repro.models import DLRM, DLRMConfig
+from repro.serving import (BatchingPolicy, FreezeConfig, InferenceRequest,
+                           MicroBatcher, ServableModel, freeze)
+from repro.sharding import ShardingPlan, ShardingScheme, shard_table
 
+
+# ----------------------------------------------------------------------
+# tiny-system builders
+# ----------------------------------------------------------------------
+def tiny_tables(num_tables: int = 3, rows: int = 200, dim: int = 8,
+                avg_pooling: float = 3.0) -> tuple:
+    """Uniform tiny embedding-table configs named t0..tN-1."""
+    return tuple(EmbeddingTableConfig(f"t{i}", rows, dim,
+                                      avg_pooling=avg_pooling)
+                 for i in range(num_tables))
+
+
+def tiny_config(num_tables: int = 3, rows: int = 200, dim: int = 8,
+                dense_dim: int = 6, avg_pooling: float = 3.0,
+                bottom_mlp: Optional[tuple] = None,
+                top_mlp: tuple = (16,)) -> DLRMConfig:
+    """A laptop-scale DLRM config (bottom MLP defaults to ``(16, dim)``)."""
+    return DLRMConfig(
+        dense_dim=dense_dim,
+        bottom_mlp=bottom_mlp if bottom_mlp is not None else (16, dim),
+        tables=tiny_tables(num_tables, rows, dim, avg_pooling),
+        top_mlp=top_mlp)
+
+
+def tiny_dataset(config: DLRMConfig, seed: int = 0,
+                 noise: Optional[float] = None) -> SyntheticCTRDataset:
+    kwargs = {} if noise is None else {"noise": noise}
+    return SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                               seed=seed, **kwargs)
+
+
+def tiny_trainer(config: DLRMConfig, world: int = 2, seed: int = 0,
+                 pg_factory=None, lr: float = 0.1, momentum: float = 0.0,
+                 scheme: str = "parity") -> NeoTrainer:
+    """A NeoTrainer over ``world`` simulated ranks.
+
+    ``scheme`` picks the sharding style:
+
+    * ``"parity"`` — alternate table-wise / data-parallel placements,
+      both summation-order-preserving, so a frozen export's forward can
+      be compared *bitwise* against the trainer's eval forward (row-wise
+      sharding changes the reduce order and is only ever close);
+    * ``"table_wise"`` — every table whole on rank ``i % world``, the
+      layout that re-plans cleanly onto any world size (what the
+      recovery suite shrinks and regrows worlds with).
+
+    Momentum is a knob because per-parameter optimizer state is exactly
+    what the bitwise recovery tests need to prove survives a restore.
+    """
+    plan = ShardingPlan(world_size=world)
+    for i, t in enumerate(config.tables):
+        if scheme == "table_wise" or i % 2 == 0:
+            plan.tables[t.name] = shard_table(
+                t, ShardingScheme.TABLE_WISE, [i % world])
+        else:
+            plan.tables[t.name] = shard_table(
+                t, ShardingScheme.DATA_PARALLEL, list(range(world)))
+    plan.validate()
+    return NeoTrainer(
+        config, plan, ClusterTopology(num_nodes=1, gpus_per_node=world),
+        dense_optimizer=lambda p: nn.SGD(p, lr=lr, momentum=momentum),
+        sparse_optimizer=SparseSGD(lr=lr), seed=seed,
+        process_group_factory=pg_factory)
+
+
+@dataclass
+class TinySystem:
+    """Everything the serving/resilience/online suites set up repeatedly:
+    a tiny DLRM (and optionally its distributed trainer), the synthetic
+    dataset, a frozen servable and a micro-batcher."""
+
+    config: DLRMConfig
+    dataset: SyntheticCTRDataset
+    model: DLRM
+    servable: ServableModel
+    policy: BatchingPolicy
+    batcher: MicroBatcher
+    trainer: Optional[NeoTrainer] = None
+
+    def loop(self, global_batch_size: int = 64, eval_every: int = 1000,
+             **kwargs) -> TrainingLoop:
+        """A TrainingLoop over the system's trainer and dataset."""
+        if self.trainer is None:
+            raise ValueError("tiny_system(world=...) needed for a loop")
+        return TrainingLoop(self.trainer, self.dataset,
+                            global_batch_size=global_batch_size,
+                            eval_every=eval_every, **kwargs)
+
+    def requests(self, n: int, spacing_s: float = 1e-4,
+                 batch_index: int = 0) -> List[InferenceRequest]:
+        """``n`` evenly spaced single-sample requests from one bulk draw."""
+        bulk = self.dataset.batch(n, batch_index=batch_index)
+        return [InferenceRequest(request_id=i, arrival_s=i * spacing_s,
+                                 batch=bulk.slice(i, i + 1))
+                for i in range(n)]
+
+
+def tiny_system(num_tables: int = 3, rows: int = 200, dim: int = 8,
+                dense_dim: int = 6, avg_pooling: float = 3.0,
+                seed: int = 3, dataset_seed: Optional[int] = None,
+                noise: Optional[float] = None, world: int = 0,
+                freeze_config: Optional[FreezeConfig] = None,
+                policy: Optional[BatchingPolicy] = None,
+                **trainer_kwargs) -> TinySystem:
+    """The shared fixture factory.
+
+    ``world=0`` (default) freezes a single-process reference
+    :class:`DLRM`; ``world>=2`` builds a :class:`NeoTrainer` (extra
+    ``trainer_kwargs`` go to :func:`tiny_trainer`) and freezes *it*, so
+    the servable carries real gathered-shard state.
+    """
+    config = tiny_config(num_tables, rows, dim, dense_dim, avg_pooling)
+    dataset = tiny_dataset(
+        config, seed=seed if dataset_seed is None else dataset_seed,
+        noise=noise)
+    trainer = None
+    if world:
+        trainer = tiny_trainer(config, world=world, seed=seed,
+                               **trainer_kwargs)
+        model = trainer.to_local_model()
+        servable = freeze(trainer, freeze_config)
+    else:
+        model = DLRM(config, seed=seed)
+        servable = freeze(model, freeze_config)
+    pol = policy if policy is not None else BatchingPolicy()
+    return TinySystem(config=config, dataset=dataset, model=model,
+                      servable=servable, policy=pol,
+                      batcher=MicroBatcher(pol), trainer=trainer)
+
+
+def single_sample_request(request_id: int, arrival_s: float,
+                          samples: int = 1) -> InferenceRequest:
+    """A content-free request (ids all zero) for pure scheduling tests."""
+    return InferenceRequest(
+        request_id=request_id, arrival_s=arrival_s,
+        batch=MiniBatch(
+            dense=np.zeros((samples, 2), dtype=np.float32),
+            sparse={"t0": (np.zeros(samples, dtype=np.int64),
+                           np.arange(samples + 1, dtype=np.int64))},
+            labels=np.zeros(samples, dtype=np.float32)))
+
+
+# ----------------------------------------------------------------------
+# numerics
+# ----------------------------------------------------------------------
 def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
                        eps: float = 1e-3) -> np.ndarray:
     """Central-difference gradient of scalar function ``f`` at ``x``.

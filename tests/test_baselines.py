@@ -63,6 +63,7 @@ class TestAsyncPSTrainer:
         ne = normalized_entropy(model.predict_proba(test), test.labels)
         assert ne < 0.99
 
+    @pytest.mark.slow
     def test_staleness_hurts_quality(self):
         """The Section 2 motivation: more async staleness, worse model."""
         cfg = small_config(h=64)

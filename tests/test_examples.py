@@ -16,11 +16,19 @@ EXAMPLES = sorted(
     if name.endswith(".py"))
 
 
+# multi-second end-to-end runs live in the slow tier; the default run
+# still covers every other example
+SLOW_EXAMPLES = {"criteo_e2e.py", "online_training.py"}
+
+
 def test_examples_discovered():
     assert len(EXAMPLES) >= 6
 
 
-@pytest.mark.parametrize("script", EXAMPLES)
+@pytest.mark.parametrize("script", [
+    pytest.param(name, marks=pytest.mark.slow)
+    if name in SLOW_EXAMPLES else name
+    for name in EXAMPLES])
 def test_example_runs(script):
     result = subprocess.run(
         [sys.executable, os.path.join(REPO_ROOT, "examples", script)],

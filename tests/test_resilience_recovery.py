@@ -5,44 +5,31 @@ rebuilds and the recovery accounting."""
 import numpy as np
 import pytest
 
-from repro import nn
-from repro.comms import ClusterTopology
-from repro.core import CheckpointManager, NeoTrainer, TrainingLoop
-from repro.data import SyntheticCTRDataset
-from repro.embedding import EmbeddingTableConfig, SparseSGD
-from repro.models import DLRMConfig
+from repro.core import CheckpointManager, TrainingLoop
 from repro.nn import WarmupLinearDecay
 from repro.resilience import (FaultKind, FaultSchedule, FaultSpec,
                               RankFailure, RecoveryError, RecoveryManager,
                               faulty_process_group_factory)
-from repro.sharding import ShardingPlan, ShardingScheme, shard_table
 
-TABLES = (EmbeddingTableConfig("t0", 96, 8, avg_pooling=2.0),
-          EmbeddingTableConfig("t1", 96, 8, avg_pooling=2.0))
-CONFIG = DLRMConfig(dense_dim=4, bottom_mlp=(8,), tables=TABLES,
-                    top_mlp=(8,))
+from .helpers import tiny_config, tiny_dataset, tiny_trainer
+
+CONFIG = tiny_config(num_tables=2, rows=96, dim=8, dense_dim=4,
+                     avg_pooling=2.0, bottom_mlp=(8,), top_mlp=(8,))
+TABLES = CONFIG.tables
 
 
 def make_trainer(world, pg_factory=None, seed=0):
-    """A trainer for any world size; re-plans table placement over it.
-
-    Momentum SGD is deliberate: it has per-parameter optimizer state, so
-    the bitwise tests prove that state survives checkpoint recovery.
-    """
-    plan = ShardingPlan(world_size=world)
-    for i, t in enumerate(TABLES):
-        plan.tables[t.name] = shard_table(t, ShardingScheme.TABLE_WISE,
-                                          [i % world])
-    plan.validate()
-    return NeoTrainer(
-        CONFIG, plan, ClusterTopology(num_nodes=1, gpus_per_node=world),
-        dense_optimizer=lambda p: nn.SGD(p, lr=0.1, momentum=0.9),
-        sparse_optimizer=SparseSGD(lr=0.1), seed=seed,
-        process_group_factory=pg_factory)
+    """A trainer for any world size; the table-wise scheme re-plans table
+    placement over it. Momentum SGD is deliberate: it has per-parameter
+    optimizer state, so the bitwise tests prove that state survives
+    checkpoint recovery."""
+    return tiny_trainer(CONFIG, world=world, seed=seed,
+                        pg_factory=pg_factory, momentum=0.9,
+                        scheme="table_wise")
 
 
 def make_dataset():
-    return SyntheticCTRDataset(TABLES, dense_dim=4, noise=0.2, seed=1)
+    return tiny_dataset(CONFIG, seed=1, noise=0.2)
 
 
 def assert_trainers_bitwise_equal(a, b):

@@ -11,44 +11,16 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.comms import ClusterTopology
-from repro.core import NeoTrainer
-from repro.data import SyntheticCTRDataset
-from repro.embedding import EmbeddingTableConfig, SparseSGD
-from repro.models import DLRM, DLRMConfig
+from repro.embedding import SparseSGD
+from repro.models import DLRM
 from repro.serving import FreezeConfig, ServableModel, freeze
-from repro.sharding import ShardingPlan, ShardingScheme, shard_table
+
+from .helpers import tiny_config, tiny_dataset, tiny_trainer
 
 
 def make_config(num_tables=3, rows=150, dim=8, dense_dim=6):
-    tables = tuple(EmbeddingTableConfig(f"t{i}", rows, dim, avg_pooling=3.0)
-                   for i in range(num_tables))
-    return DLRMConfig(dense_dim=dense_dim, bottom_mlp=(16, dim),
-                      tables=tables, top_mlp=(16,))
-
-
-def dataset_for(config, seed=0):
-    return SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
-                               seed=seed)
-
-
-def make_trainer(config, world=2, seed=0):
-    """Trainer with summation-order-preserving schemes only (table-wise /
-    data-parallel) so the frozen forward can be bitwise-compared; row-wise
-    sharding changes the reduce order and is only ever close, not equal."""
-    plan = ShardingPlan(world_size=world)
-    for i, t in enumerate(config.tables):
-        if i % 2 == 0:
-            plan.tables[t.name] = shard_table(
-                t, ShardingScheme.TABLE_WISE, [i % world])
-        else:
-            plan.tables[t.name] = shard_table(
-                t, ShardingScheme.DATA_PARALLEL, list(range(world)))
-    plan.validate()
-    return NeoTrainer(config, plan,
-                      ClusterTopology(num_nodes=1, gpus_per_node=world),
-                      dense_optimizer=lambda p: nn.SGD(p, lr=0.1),
-                      sparse_optimizer=SparseSGD(lr=0.1), seed=seed)
+    """This suite's tiny DLRM (fewer rows than the shared default)."""
+    return tiny_config(num_tables, rows, dim, dense_dim)
 
 
 class TestFp32Parity:
@@ -56,14 +28,14 @@ class TestFp32Parity:
         config = make_config()
         model = DLRM(config, seed=3)
         servable = freeze(model)
-        batch = dataset_for(config).batch(32, 7)
+        batch = tiny_dataset(config).batch(32, 7)
         np.testing.assert_array_equal(servable.forward(batch),
                                       model.forward(batch))
 
     def test_bitwise_vs_trainer_eval_forward(self):
         config = make_config(num_tables=4)
-        trainer = make_trainer(config, world=2, seed=5)
-        ds = dataset_for(config, seed=9)
+        trainer = tiny_trainer(config, world=2, seed=5)
+        ds = tiny_dataset(config, seed=9)
         for i in range(3):
             trainer.train_step(ds.batch(8, i).split(2))
         batch = ds.batch(8, 50)
@@ -74,8 +46,8 @@ class TestFp32Parity:
 
     def test_eval_forward_does_not_mutate(self):
         config = make_config()
-        trainer = make_trainer(config)
-        ds = dataset_for(config)
+        trainer = tiny_trainer(config)
+        ds = tiny_dataset(config)
         trainer.train_step(ds.batch(8, 0).split(2))
         shards = {t.name: trainer.plan.tables[t.name].shards[0]
                   for t in config.tables}
@@ -92,8 +64,8 @@ class TestFp32Parity:
 
     def test_eval_forward_validates_batches(self):
         config = make_config()
-        trainer = make_trainer(config)
-        b = dataset_for(config).batch(8, 0)
+        trainer = tiny_trainer(config)
+        b = tiny_dataset(config).batch(8, 0)
         with pytest.raises(ValueError):
             trainer.eval_forward([b])  # wrong count for world=2
 
@@ -101,7 +73,7 @@ class TestFp32Parity:
         config = make_config()
         model = DLRM(config, seed=1)
         servable = freeze(model)
-        batch = dataset_for(config).batch(16, 0)
+        batch = tiny_dataset(config).batch(16, 0)
         logits = servable.forward(batch)
         np.testing.assert_allclose(servable.predict(batch),
                                    1.0 / (1.0 + np.exp(-logits)), rtol=1e-6)
@@ -113,7 +85,7 @@ class TestQuantizedFreeze:
     def test_bounded_logit_error(self, precision, bound):
         config = make_config()
         model = DLRM(config, seed=3)
-        batch = dataset_for(config).batch(64, 2)
+        batch = tiny_dataset(config).batch(64, 2)
         reference = model.forward(batch)
         servable = freeze(model, FreezeConfig(precision=precision))
         err = np.max(np.abs(servable.forward(batch) - reference))
@@ -173,7 +145,7 @@ class TestHotColdPlacement:
         servable = freeze(model, FreezeConfig(hot_bytes=0.0))
         assert servable.hot_tables is None
         assert len(servable.cold_table_names) == len(config.tables)
-        batch = dataset_for(config).batch(32, 3)
+        batch = tiny_dataset(config).batch(32, 3)
         np.testing.assert_array_equal(servable.forward(batch),
                                       model.forward(batch))
 
@@ -181,7 +153,7 @@ class TestHotColdPlacement:
         config = make_config()
         servable = freeze(DLRM(config, seed=4),
                           FreezeConfig(hot_bytes=0.0))
-        ds = dataset_for(config)
+        ds = tiny_dataset(config)
         for i in range(3):
             servable.forward(ds.batch(32, i))
         for name in servable.cold_table_names:
@@ -220,7 +192,7 @@ class TestImmutability:
         config = make_config()
         model = DLRM(config, seed=0)
         freeze(model)
-        ds = dataset_for(config)
+        ds = tiny_dataset(config)
         opt = nn.SGD(model.dense_parameters(), lr=0.1)
         model.train_step(ds.batch(8, 0), opt, SparseSGD(lr=0.1))  # no raise
 
@@ -243,6 +215,6 @@ class TestFreezeValidation:
     def test_nnz_counts_all_features(self):
         config = make_config()
         servable = freeze(DLRM(config, seed=0))
-        batch = dataset_for(config).batch(16, 0)
+        batch = tiny_dataset(config).batch(16, 0)
         expected = sum(len(ids) for ids, _ in batch.sparse.values())
         assert servable.nnz(batch) == expected

@@ -8,22 +8,11 @@ from a serve run must account for every offered request.
 import numpy as np
 import pytest
 
-from repro.data import SyntheticCTRDataset
-from repro.embedding import EmbeddingTableConfig
-from repro.models import DLRM, DLRMConfig
 from repro.serving import (BatchingPolicy, InferenceServer, LoadReport,
-                           PoissonLoadGen, ServingPerfModel, freeze,
-                           run_load_test)
+                           PoissonLoadGen, ServingPerfModel, run_load_test)
 from repro.serving.loadgen import summarize
 
-
-def make_setup(seed=3):
-    tables = tuple(EmbeddingTableConfig(f"t{i}", 200, 8, avg_pooling=3.0)
-                   for i in range(3))
-    config = DLRMConfig(dense_dim=6, bottom_mlp=(16, 8), tables=tables,
-                        top_mlp=(16,))
-    ds = SyntheticCTRDataset(tables, dense_dim=6, seed=seed)
-    return freeze(DLRM(config, seed=seed)), ds
+from .helpers import tiny_system
 
 
 class TestPoissonLoadGen:
@@ -50,7 +39,7 @@ class TestPoissonLoadGen:
         assert np.all(np.diff(arrivals) > 0)
 
     def test_requests_slice_the_bulk_batch(self):
-        _, ds = make_setup()
+        ds = tiny_system().dataset
         gen = PoissonLoadGen(qps=100, num_requests=10, seed=2)
         requests = gen.requests(ds)
         bulk = ds.batch(10, batch_index=2)
@@ -58,6 +47,17 @@ class TestPoissonLoadGen:
         for i, r in enumerate(requests):
             assert r.num_samples == 1
             np.testing.assert_array_equal(r.batch.dense, bulk.dense[i:i + 1])
+
+    def test_for_duration_sizes_to_expected_arrivals(self):
+        gen = PoissonLoadGen.for_duration(qps=250, duration_s=2.0, seed=5)
+        assert gen.num_requests == 500
+        assert gen.qps == 250
+        assert gen.seed == 5
+        # degenerate horizon still produces at least one request
+        assert PoissonLoadGen.for_duration(qps=1, duration_s=1e-6) \
+            .num_requests == 1
+        with pytest.raises(ValueError):
+            PoissonLoadGen.for_duration(qps=100, duration_s=0.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -68,43 +68,44 @@ class TestPoissonLoadGen:
 
 class TestLoadReport:
     def test_accounting_conserves_requests(self):
-        model, ds = make_setup()
+        sys = tiny_system()
         # tiny queue + slow server forces sheds
         server = InferenceServer(
-            model, BatchingPolicy(max_batch_size=4, max_wait_s=1e-4,
-                                  max_queue_depth=4),
+            sys.servable, BatchingPolicy(max_batch_size=4, max_wait_s=1e-4,
+                                         max_queue_depth=4),
             ServingPerfModel(overhead_s=5e-3))
-        report = run_load_test(server, ds, qps=5000, num_requests=200,
-                               slo_s=5e-3, seed=0)
+        report = run_load_test(server, sys.dataset, qps=5000,
+                               num_requests=200, slo_s=5e-3, seed=0)
         assert report.num_offered == 200
         assert report.num_completed + report.num_shed == 200
         assert report.num_shed > 0
         assert 0 < report.shed_fraction < 1
 
     def test_seeded_report_is_exactly_reproducible(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
-        a = run_load_test(server, ds, qps=2000, num_requests=150,
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        a = run_load_test(server, sys.dataset, qps=2000, num_requests=150,
                           slo_s=5e-3, seed=4)
-        b = run_load_test(server, ds, qps=2000, num_requests=150,
+        b = run_load_test(server, sys.dataset, qps=2000, num_requests=150,
                           slo_s=5e-3, seed=4)
         assert a == b
 
     def test_percentiles_ordered(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
-        report = run_load_test(server, ds, qps=2000, num_requests=150,
-                               slo_s=5e-3, seed=0)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        report = run_load_test(server, sys.dataset, qps=2000,
+                               num_requests=150, slo_s=5e-3, seed=0)
         assert 0 < report.p50_s <= report.p95_s <= report.p99_s \
             <= report.max_s
         assert report.makespan_s > 0
 
     def test_goodput_counts_only_within_slo(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
         out = []
-        report = run_load_test(server, ds, qps=2000, num_requests=100,
-                               slo_s=5e-3, seed=0, result_out=out)
+        report = run_load_test(server, sys.dataset, qps=2000,
+                               num_requests=100, slo_s=5e-3, seed=0,
+                               result_out=out)
         result = out[0]
         within = int(np.sum(result.latencies_s() <= report.slo_s))
         assert report.goodput_qps == pytest.approx(
@@ -115,19 +116,19 @@ class TestLoadReport:
         assert report.goodput_qps == pytest.approx(report.completed_qps)
 
     def test_impossible_slo_zeroes_goodput(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
-        report = run_load_test(server, ds, qps=2000, num_requests=100,
-                               slo_s=1e-9, seed=0)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        report = run_load_test(server, sys.dataset, qps=2000,
+                               num_requests=100, slo_s=1e-9, seed=0)
         assert report.goodput_qps == 0.0
         assert report.slo_attainment == 0.0
         assert report.completed_qps > 0  # work still happened
 
     def test_row_matches_header(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
-        report = run_load_test(server, ds, qps=2000, num_requests=50,
-                               slo_s=5e-3, seed=0)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        report = run_load_test(server, sys.dataset, qps=2000,
+                               num_requests=50, slo_s=5e-3, seed=0)
         assert len(report.row()) == len(LoadReport.ROW_HEADER)
 
     def test_summarize_empty_result(self):
@@ -139,7 +140,8 @@ class TestLoadReport:
         assert report.shed_fraction == 0.0
 
     def test_rejects_bad_slo(self):
-        model, ds = make_setup()
-        server = InferenceServer(model)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
         with pytest.raises(ValueError):
-            run_load_test(server, ds, qps=100, num_requests=10, slo_s=0.0)
+            run_load_test(server, sys.dataset, qps=100, num_requests=10,
+                          slo_s=0.0)

@@ -10,37 +10,21 @@ for every request.
 import numpy as np
 import pytest
 
-from repro.data import SyntheticCTRDataset
-from repro.embedding import EmbeddingTableConfig
-from repro.models import DLRM, DLRMConfig
 from repro.obs import MetricRegistry, Tracer
 from repro.perf import PlatformSpec
-from repro.serving import (BatchingPolicy, InferenceRequest, InferenceServer,
-                           ServingPerfModel, freeze)
+from repro.serving import (BatchingPolicy, InferenceServer,
+                           ServingPerfModel)
 
-
-def make_servable(num_tables=3, rows=200, dim=8, dense_dim=6, seed=3):
-    tables = tuple(EmbeddingTableConfig(f"t{i}", rows, dim, avg_pooling=3.0)
-                   for i in range(num_tables))
-    config = DLRMConfig(dense_dim=dense_dim, bottom_mlp=(16, dim),
-                        tables=tables, top_mlp=(16,))
-    return freeze(DLRM(config, seed=seed)), \
-        SyntheticCTRDataset(tables, dense_dim=dense_dim, seed=seed)
-
-
-def make_requests(dataset, n, spacing_s=1e-4):
-    bulk = dataset.batch(n, batch_index=0)
-    return [InferenceRequest(request_id=i, arrival_s=i * spacing_s,
-                             batch=bulk.slice(i, i + 1))
-            for i in range(n)]
+from .helpers import tiny_system
 
 
 class TestServe:
     def test_responses_match_unbatched_predict(self):
-        model, ds = make_servable()
-        requests = make_requests(ds, 20)
-        server = InferenceServer(model, BatchingPolicy(max_batch_size=8,
-                                                       max_wait_s=1e-3))
+        sys = tiny_system()
+        requests = sys.requests(20)
+        server = InferenceServer(sys.servable,
+                                 BatchingPolicy(max_batch_size=8,
+                                                max_wait_s=1e-3))
         result = server.serve(requests)
         assert result.num_completed == 20
         # coalesced forward == per-request forward up to BLAS kernel
@@ -48,14 +32,13 @@ class TestServe:
         # equality across batch sizes is not guaranteed)
         for r in requests:
             np.testing.assert_allclose(result.responses[r.request_id],
-                                       model.predict(r.batch),
+                                       sys.servable.predict(r.batch),
                                        rtol=1e-6, atol=1e-6)
 
     def test_outcomes_sorted_and_accounted(self):
-        model, ds = make_servable()
-        requests = make_requests(ds, 12)
-        server = InferenceServer(model)
-        result = server.serve(requests)
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        result = server.serve(sys.requests(12))
         ids = [o.request_id for o in result.outcomes]
         assert ids == sorted(ids) == list(range(12))
         for o in result.outcomes:
@@ -63,11 +46,11 @@ class TestServe:
             assert o.latency_s > 0
 
     def test_shed_requests_have_no_response(self):
-        model, ds = make_servable()
-        requests = make_requests(ds, 10, spacing_s=0.0)
+        sys = tiny_system()
+        requests = sys.requests(10, spacing_s=0.0)
         server = InferenceServer(
-            model, BatchingPolicy(max_batch_size=2, max_wait_s=10.0,
-                                  max_queue_depth=2),
+            sys.servable, BatchingPolicy(max_batch_size=2, max_wait_s=10.0,
+                                         max_queue_depth=2),
             ServingPerfModel(overhead_s=1.0))  # huge service time
         result = server.serve(requests)
         assert result.num_shed > 0
@@ -76,11 +59,12 @@ class TestServe:
             assert rid not in result.responses
 
     def test_metrics_and_spans_recorded(self):
-        model, ds = make_servable()
+        sys = tiny_system()
         registry = MetricRegistry()
         tracer = Tracer(clock="logical")
-        server = InferenceServer(model, tracer=tracer, metrics=registry)
-        server.serve(make_requests(ds, 8))
+        server = InferenceServer(sys.servable, tracer=tracer,
+                                 metrics=registry)
+        server.serve(sys.requests(8))
         snap = registry.snapshot()
         assert snap["serving.requests"] == 8
         assert snap["serving.completed"] == 8
@@ -91,17 +75,17 @@ class TestServe:
         assert {"serving.batch", "serving.forward"} <= names
 
     def test_deterministic_replay(self):
-        model, ds = make_servable()
-        server = InferenceServer(model)
-        a = server.serve(make_requests(ds, 15))
-        b = server.serve(make_requests(ds, 15))
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        a = server.serve(sys.requests(15))
+        b = server.serve(sys.requests(15))
         assert [o.completion_s for o in a.outcomes] == \
             [o.completion_s for o in b.outcomes]
 
 
 class TestServingPerfModel:
     def test_batched_amortizes_overhead(self):
-        model, _ = make_servable()
+        model = tiny_system().servable
         perf = ServingPerfModel()
         t1 = perf.service_time(model, 1, 10)
         t64 = perf.service_time(model, 64, 640)
@@ -109,14 +93,14 @@ class TestServingPerfModel:
         assert t64 > t1       # but not free
 
     def test_capacity_grows_with_batch(self):
-        model, _ = make_servable()
+        model = tiny_system().servable
         perf = ServingPerfModel()
         q1 = perf.capacity_qps(model, 1, 10.0)
         q64 = perf.capacity_qps(model, 64, 10.0)
         assert q64 > 2 * q1
 
     def test_hbm_overflow_degrades_bandwidth(self):
-        model, _ = make_servable()
+        model = tiny_system().servable
         tiny = PlatformSpec(name="tiny",
                             hbm_per_node_bytes=model.storage_bytes() / 4,
                             dram_per_node_bytes=1e12,
@@ -133,7 +117,7 @@ class TestServingPerfModel:
             ServingPerfModel(nodes=0)
         with pytest.raises(ValueError):
             ServingPerfModel(overhead_s=-1.0)
-        model, _ = make_servable()
+        model = tiny_system().servable
         perf = ServingPerfModel()
         with pytest.raises(ValueError):
             perf.service_time(model, 0, 1)
