@@ -97,6 +97,54 @@ class GradientBucketer:
             out.append(flat)
         return out
 
+    def flatten_stacked(self, grads: Sequence[np.ndarray]
+                        ) -> List[np.ndarray]:
+        """Rank-stacked :meth:`flatten`: per-parameter ``(R, *shape)``
+        gradients pack into one ``(R, bucket_elements)`` flat per
+        bucket. Row ``r`` of each flat is bitwise what :meth:`flatten`
+        would produce from rank ``r``'s gradients."""
+        if len(grads) != len(self.shapes):
+            raise ValueError(
+                f"expected {len(self.shapes)} gradients, got {len(grads)}")
+        world = int(grads[0].shape[0])
+        out = []
+        for bucket in self.buckets:
+            flat = np.empty((world, bucket.num_elements), dtype=np.float32)
+            cursor = 0
+            for idx in bucket.param_indices:
+                g = grads[idx]
+                if g.shape != (world,) + self.shapes[idx]:
+                    raise ValueError(
+                        f"stacked gradient {idx} has shape {g.shape}, "
+                        f"expected {(world,) + self.shapes[idx]}")
+                flat[:, cursor:cursor + self.sizes[idx]] = \
+                    g.reshape(world, -1)
+                cursor += self.sizes[idx]
+            out.append(flat)
+        return out
+
+    def unflatten_stacked(self, flats: Sequence[np.ndarray]
+                          ) -> List[np.ndarray]:
+        """Inverse of :meth:`flatten_stacked`: ``(R, bucket_elements)``
+        flats back to per-parameter ``(R, *shape)`` gradients."""
+        if len(flats) != len(self.buckets):
+            raise ValueError(
+                f"expected {len(self.buckets)} buckets, got {len(flats)}")
+        grads: List[np.ndarray] = [None] * len(self.shapes)
+        for bucket, flat in zip(self.buckets, flats):
+            world = int(flat.shape[0])
+            if flat.shape[1:] != (bucket.num_elements,):
+                raise ValueError(
+                    f"bucket expects {bucket.num_elements} elements, got "
+                    f"{flat.shape[1:]}")
+            cursor = 0
+            for idx in bucket.param_indices:
+                size = self.sizes[idx]
+                grads[idx] = flat[:, cursor:cursor + size].reshape(
+                    (world,) + self.shapes[idx]).astype(np.float32)
+                cursor += size
+        return grads
+
     def unflatten(self, flats: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Inverse of :meth:`flatten`; returns per-parameter gradients in
         the original parameter order."""

@@ -26,7 +26,8 @@ from typing import Callable, List, Optional
 import numpy as np
 
 __all__ = ["all_reduce", "all_gather", "reduce_scatter", "all_to_all",
-           "all_to_all_single", "broadcast"]
+           "all_to_all_single", "broadcast", "all_reduce_stacked",
+           "all_gather_stacked"]
 
 Codec = Callable[[np.ndarray], np.ndarray]
 
@@ -39,6 +40,13 @@ def _check_world(inputs: list) -> int:
 
 def _identity(x: np.ndarray) -> np.ndarray:
     return x
+
+
+def _check_world_stacked(stacked: np.ndarray) -> int:
+    stacked = np.asarray(stacked)
+    if stacked.ndim == 0 or stacked.shape[0] == 0:
+        raise ValueError("collective needs at least one rank")
+    return int(stacked.shape[0])
 
 
 def all_reduce(inputs: List[np.ndarray],
@@ -57,6 +65,39 @@ def all_reduce(inputs: List[np.ndarray],
     for x in inputs[1:]:
         total = total + codec(np.asarray(x, dtype=np.float32))
     return [total.copy() for _ in range(world)]
+
+
+def all_reduce_stacked(stacked: np.ndarray,
+                       codec: Optional[Codec] = None) -> np.ndarray:
+    """Leading-axis :func:`all_reduce`: ``stacked[r]`` is rank ``r``'s
+    contribution; the returned ``(W, ...)`` array holds every rank's
+    (identical) reduced result.
+
+    The reduction is an explicit sequential sum over leading-axis
+    slices — NOT ``np.sum(axis=0)``, whose pairwise summation would
+    change the float accumulation order — so each output slice is
+    bitwise identical to the list-based collective on the same data.
+    """
+    world = _check_world_stacked(stacked)
+    codec = codec or _identity
+    total = codec(np.asarray(stacked[0], dtype=np.float32)).copy()
+    for r in range(1, world):
+        total = total + codec(np.asarray(stacked[r], dtype=np.float32))
+    out = np.empty((world,) + total.shape, dtype=total.dtype)
+    out[:] = total
+    return out
+
+
+def all_gather_stacked(stacked: np.ndarray,
+                       codec: Optional[Codec] = None) -> np.ndarray:
+    """Leading-axis :func:`all_gather`: returns one ``(W, ...)`` array —
+    the gathered payload every rank receives (slice ``s`` is rank
+    ``s``'s contribution). Callers must treat the result as read-only;
+    unlike the list form, destinations share storage."""
+    world = _check_world_stacked(stacked)
+    codec = codec or _identity
+    return np.stack([codec(np.asarray(stacked[r])) for r in range(world)],
+                    axis=0)
 
 
 def all_gather(inputs: List[np.ndarray],

@@ -126,6 +126,10 @@ class CollectiveResult(Sequence):
     wire_bytes: int = 0
     modeled_seconds: float = 0.0
     per_rank_seconds: List[float] = field(default_factory=list)
+    #: rank-stacked fast path only: the full ``(W, ...)`` result array
+    #: (``outputs`` then holds per-rank views into it). ``None`` for the
+    #: list-based collectives.
+    stacked: Optional[np.ndarray] = None
 
     def __getitem__(self, index):
         return self.outputs[index]
@@ -247,7 +251,20 @@ class SimProcessGroup:
                                 modeled_seconds=seconds)
 
     # ------------------------------------------------------------------
-    def all_reduce(self, inputs: List[np.ndarray]) -> CollectiveResult:
+    def all_reduce(self, inputs: Union[List[np.ndarray], np.ndarray]
+                   ) -> CollectiveResult:
+        """Elementwise-sum AllReduce.
+
+        ``inputs`` is either the classic per-rank list or — the
+        rank-stacked fast path — one ``(W, ...)`` array whose leading
+        axis enumerates ranks. Both forms bill identical wire bytes and
+        modeled latency (the per-GPU payload is one rank's slice either
+        way), produce bitwise-identical per-rank outputs, and funnel
+        through :meth:`_execute` so fault wrappers see the same
+        collective name and per-rank input views.
+        """
+        if isinstance(inputs, np.ndarray):
+            return self._all_reduce_stacked(inputs)
         self._check_world(inputs, "all_reduce")
         precision = self.comms_config.allreduce
         per_gpu = wire_bytes(int(inputs[0].size), precision)
@@ -257,6 +274,26 @@ class SimProcessGroup:
             "all_reduce", inputs, total_wire, seconds,
             lambda: collectives.all_reduce(
                 inputs, codec=self.comms_config.allreduce_codec()))
+
+    def _all_reduce_stacked(self, stacked: np.ndarray) -> CollectiveResult:
+        self._check_world(stacked, "all_reduce")
+        precision = self.comms_config.allreduce
+        per_gpu = wire_bytes(int(stacked[0].size), precision)
+        seconds = perf_model.all_reduce_time(per_gpu, self.topology)
+        total_wire = per_gpu * self.world_size
+        holder: Dict[str, np.ndarray] = {}
+
+        def run() -> list:
+            out = collectives.all_reduce_stacked(
+                stacked, codec=self.comms_config.allreduce_codec())
+            holder["out"] = out
+            return [out[r] for r in range(self.world_size)]
+
+        result = self._execute(
+            "all_reduce", [stacked[r] for r in range(self.world_size)],
+            total_wire, seconds, run)
+        result.stacked = holder["out"]
+        return result
 
     def all_to_all(self, inputs: List[List[np.ndarray]],
                    kind: Union[AlltoAllKind, str] = AlltoAllKind.FORWARD,
@@ -301,7 +338,16 @@ class SimProcessGroup:
             "reduce_scatter", inputs, total_wire, seconds,
             lambda: collectives.reduce_scatter(inputs))
 
-    def all_gather(self, inputs: List[np.ndarray]) -> CollectiveResult:
+    def all_gather(self, inputs: Union[List[np.ndarray], np.ndarray]
+                   ) -> CollectiveResult:
+        """AllGather; accepts a per-rank list or (rank-stacked fast
+        path) one ``(W, ...)`` array. Billing is identical either way;
+        the stacked result (``.stacked``) is the gathered ``(W, ...)``
+        payload every rank receives, and ``outputs`` holds the usual
+        per-destination lists as views into it (read-only by
+        convention)."""
+        if isinstance(inputs, np.ndarray):
+            return self._all_gather_stacked(inputs)
         self._check_world(inputs, "all_gather")
         per_gpu = int(np.asarray(inputs[0]).nbytes)
         seconds = perf_model.all_gather_time(per_gpu, self.topology)
@@ -309,6 +355,25 @@ class SimProcessGroup:
         return self._execute(
             "all_gather", inputs, total_wire, seconds,
             lambda: collectives.all_gather(inputs))
+
+    def _all_gather_stacked(self, stacked: np.ndarray) -> CollectiveResult:
+        self._check_world(stacked, "all_gather")
+        per_gpu = int(np.asarray(stacked[0]).nbytes)
+        seconds = perf_model.all_gather_time(per_gpu, self.topology)
+        total_wire = per_gpu * self.world_size
+        holder: Dict[str, np.ndarray] = {}
+
+        def run() -> list:
+            out = collectives.all_gather_stacked(stacked)
+            holder["out"] = out
+            received = [out[s] for s in range(self.world_size)]
+            return [received for _ in range(self.world_size)]
+
+        result = self._execute(
+            "all_gather", [stacked[r] for r in range(self.world_size)],
+            total_wire, seconds, run)
+        result.stacked = holder["out"]
+        return result
 
     def broadcast(self, inputs: List[np.ndarray],
                   root: int = 0) -> CollectiveResult:

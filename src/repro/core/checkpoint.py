@@ -182,16 +182,12 @@ class CheckpointManager:
                             (t.num_embeddings, t.embedding_dim),
                             dtype=np.float32)
                     tables[t.name][rows] = values
-        # write back into every rank's replica and every shard; optimizer
-        # state is replaced wholesale so a momentum/Adam resume is exact
-        # (checkpoints predating opt-state capture simply reset it)
-        for state in trainer.ranks:
-            for i, p in enumerate(state.dense_parameters()):
-                p.data = dense[i].copy()
-                slot = state.dense_opt.state_for(p)
-                slot.clear()
-                for name, value in opt_state.get(i, {}).items():
-                    slot[name] = value.copy()
+        # write back into every rank's replica (or the stacked storage —
+        # the trainer knows its execution mode) and every shard;
+        # optimizer state is replaced wholesale so a momentum/Adam
+        # resume is exact (checkpoints predating opt-state capture
+        # simply reset it)
+        trainer.load_dense_state(dense, opt_state)
         for t in trainer.config.tables:
             table_plan = trainer.plan.tables[t.name]
             for shard in table_plan.shards:

@@ -27,6 +27,22 @@ The trainer runs ``W`` simulated ranks in lock-step inside one process:
 All collectives move real data through :class:`SimProcessGroup`, which also
 accumulates wire bytes and modeled latency. The trainer's numerics are
 validated against the single-process :class:`repro.models.DLRM` reference.
+
+**Rank-stacked simulation** (default, ``stacked=True``): since every
+rank's dense replica is bitwise identical in architecture, all replicas'
+parameters are packed into leading-axis ``(R, ...)`` arrays
+(:class:`StackedRankState`, built by :mod:`repro.nn.stacked`) so the
+data-parallel bottom/top MLP forward and backward across all ranks is
+one batched ``np.matmul`` per layer instead of ``R`` sequential calls,
+and the bucketed dense AllReduce ships one ``(R, elements)`` array
+through the :class:`SimProcessGroup` stacked fast path. Wire-byte
+accounting, modeled latency, spans and fault injection are unchanged,
+and every per-rank quantity is bitwise identical to the legacy looped
+path (``stacked=False``, kept as the reference oracle and fuzzed
+against in ``tests/test_trainer_stacked.py``). The per-rank
+``_RankState`` objects survive as *views* into the stacked storage, so
+checkpointing, ``freeze()`` export and replica-sync checks read rank
+state exactly as before.
 """
 
 from __future__ import annotations
@@ -51,7 +67,7 @@ from ..obs.metrics import MetricRegistry
 from ..obs.tracer import as_tracer
 from ..sharding import Shard, ShardingPlan, ShardingScheme
 
-__all__ = ["NeoTrainer"]
+__all__ = ["NeoTrainer", "StackedRankState"]
 
 
 @dataclass
@@ -75,6 +91,96 @@ class _RankState:
         return params + self.top.parameters()
 
 
+@dataclass
+class StackedRankState:
+    """All ranks' dense state packed into leading-axis ``(R, ...)`` arrays.
+
+    Mirrors :class:`_RankState` field for field; every parameter holds
+    the ``(R, *shape)`` stack of the per-rank replicas (built by
+    :mod:`repro.nn.stacked`), and each rank's ``_RankState`` parameters
+    are rebound to the contiguous views ``stacked.data[r]`` so both
+    representations share storage — mutating one mutates the other.
+    """
+
+    bottom: nn.Module
+    top: nn.Module
+    interaction: nn.Module
+    loss_fn: nn.BCEWithLogitsLoss
+    dense_opt: nn.Optimizer
+    projections: Dict[str, nn.Module]
+    table_order: Tuple[str, ...]
+
+    def dense_parameters(self) -> List[nn.Parameter]:
+        """Stacked parameters in :meth:`_RankState.dense_parameters`
+        order; entry ``i`` is the ``(R, *shape)`` stack of every rank's
+        parameter ``i``."""
+        params = self.bottom.parameters()
+        for name in self.table_order:
+            if name in self.projections:
+                params.extend(self.projections[name].parameters())
+        return params + self.top.parameters()
+
+
+class _StackedOptimizerView:
+    """Per-rank facade over the shared stacked dense optimizer.
+
+    Keeps the ``trainer.ranks[r].dense_opt`` surface alive in stacked
+    mode: LR schedulers read/write ``.lr`` (one shared optimizer — in
+    looped mode all replica optimizers move in lock-step anyway), and
+    checkpointing reads per-rank slot state through :meth:`state_for`,
+    which slices this rank out of any stacked state array. Calling
+    :meth:`step` raises: the trainer steps the stacked optimizer once
+    per iteration, and a silent per-rank step would double-update.
+    """
+
+    def __init__(self, opt: nn.Optimizer, rank: int,
+                 rank_params: Sequence[nn.Parameter],
+                 stacked_params: Sequence[nn.Parameter]) -> None:
+        self._opt = opt
+        self._rank = rank
+        self.params = list(rank_params)
+        self._to_stacked = {id(p): sp for p, sp in
+                            zip(rank_params, stacked_params)}
+
+    @property
+    def lr(self) -> float:
+        return self._opt.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self._opt.lr = value
+
+    def state_for(self, param: nn.Parameter) -> Dict[str, np.ndarray]:
+        """This rank's view of the stacked optimizer state for ``param``.
+
+        Stacked state arrays (shape ``(R, *param_shape)``) are sliced to
+        this rank; anything else — step counters, state restored at
+        per-rank shape by :meth:`NeoTrainer.load_dense_state` — is
+        rank-identical already and passes through. The returned dict is
+        a snapshot: mutate optimizer state through the trainer, not here.
+        """
+        sp = self._to_stacked.get(id(param))
+        if sp is None:
+            return {}
+        out: Dict[str, np.ndarray] = {}
+        for key, value in self._opt.state_for(sp).items():
+            if isinstance(value, np.ndarray) and \
+                    value.shape == sp.data.shape:
+                out[key] = value[self._rank]
+            else:
+                out[key] = value
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise RuntimeError(
+            "per-rank dense_opt is a read-only view in stacked mode; "
+            "the trainer steps the shared stacked optimizer")
+
+
 def _empty_ids() -> np.ndarray:
     return np.zeros(0, dtype=np.int64)
 
@@ -91,7 +197,8 @@ class NeoTrainer:
                  seed: int = 0, trace=None,
                  metrics: Optional[MetricRegistry] = None,
                  process_group_factory: Optional[
-                     Callable[..., SimProcessGroup]] = None) -> None:
+                     Callable[..., SimProcessGroup]] = None,
+                 stacked: bool = True) -> None:
         if plan.world_size != topology.world_size:
             raise ValueError(
                 f"plan world size {plan.world_size} != topology world size "
@@ -148,8 +255,18 @@ class NeoTrainer:
             for dst, src in zip(state.dense_parameters(),
                                 golden.dense_parameters()):
                 dst.data = src.data.copy()
-            state.dense_opt = dense_optimizer(state.dense_parameters())
             self.ranks.append(state)
+        # rank-stacked mode packs every replica's dense parameters into
+        # (R, ...) arrays and rebinds the per-rank parameters to views;
+        # looped mode (the reference oracle) keeps per-rank optimizers
+        self._stacked_state: Optional[StackedRankState] = None
+        if stacked:
+            self._stacked_state = self._stack_ranks(dense_optimizer)
+        else:
+            for state in self.ranks:
+                state.dense_opt = dense_optimizer(state.dense_parameters())
+        # bucketing is defined over one replica's parameter shapes in
+        # both modes (the stacked fast path packs (R, elems) buckets)
         self._bucketer = GradientBucketer(
             self.ranks[0].dense_parameters())
 
@@ -166,8 +283,8 @@ class NeoTrainer:
                      trace=None,
                      metrics: Optional[MetricRegistry] = None,
                      process_group_factory: Optional[
-                         Callable[..., SimProcessGroup]] = None
-                     ) -> "NeoTrainer":
+                         Callable[..., SimProcessGroup]] = None,
+                     stacked: bool = True) -> "NeoTrainer":
         """Build a trainer with an automatically planned, memory-validated
         sharding plan — the one-call production entry point."""
         from ..sharding import EmbeddingShardingPlanner, PlannerConfig
@@ -184,7 +301,43 @@ class NeoTrainer:
         return cls(config, plan, topology, dense_optimizer,
                    sparse_optimizer, comms_config=comms_config, seed=seed,
                    trace=trace, metrics=metrics,
-                   process_group_factory=process_group_factory)
+                   process_group_factory=process_group_factory,
+                   stacked=stacked)
+
+    @property
+    def stacked(self) -> bool:
+        """True when running the rank-stacked fast path."""
+        return self._stacked_state is not None
+
+    def _stack_ranks(self, dense_optimizer: Callable[
+            [Sequence[nn.Parameter]], nn.Optimizer]) -> StackedRankState:
+        """Pack the per-rank dense replicas into one stacked model.
+
+        After this, ``ranks[r]``'s parameters are contiguous views into
+        the stacked ``(R, ...)`` storage and ``ranks[r].dense_opt`` is a
+        :class:`_StackedOptimizerView` over the single shared optimizer.
+        """
+        ss = StackedRankState(
+            bottom=nn.stacked.stack_modules(
+                [s.bottom for s in self.ranks]),
+            top=nn.stacked.stack_modules([s.top for s in self.ranks]),
+            interaction=self.config.make_interaction(),
+            loss_fn=nn.BCEWithLogitsLoss(),
+            dense_opt=None,
+            projections={
+                name: nn.stacked.stack_modules(
+                    [s.projections[name] for s in self.ranks])
+                for name in self.ranks[0].projections},
+            table_order=self.ranks[0].table_order)
+        stacked_params = ss.dense_parameters()
+        ss.dense_opt = dense_optimizer(stacked_params)
+        for r, state in enumerate(self.ranks):
+            rank_params = state.dense_parameters()
+            for p, sp in zip(rank_params, stacked_params):
+                p.data = sp.data[r]
+            state.dense_opt = _StackedOptimizerView(
+                ss.dense_opt, r, rank_params, stacked_params)
+        return ss
 
     def _build_shards(self, config: DLRMConfig, plan: ShardingPlan,
                       golden: DLRM) -> None:
@@ -400,8 +553,21 @@ class NeoTrainer:
         return self.pg.reduce_scatter(chunked)
 
     def _backward_row_wise(self, shards: List[Shard],
-                           d_pooled: List[np.ndarray]) -> None:
+                           d_pooled) -> None:
         w = self.world_size
+        if isinstance(d_pooled, np.ndarray):
+            # rank-stacked fast path: one (W, B, D) array through the
+            # AllGather; the gathered stack reshapes to the same
+            # source-rank-major (W*B, D) global gradient the looped
+            # path concatenates
+            result = self.pg.all_gather(d_pooled / w)
+            gathered = result.stacked
+            d_global = gathered.reshape(
+                gathered.shape[0] * gathered.shape[1],
+                -1).astype(np.float32)
+            for shard in shards:
+                self._shard_update(shard, d_global)
+            return
         gathered = self.pg.all_gather([d / w for d in d_pooled])
         for shard in shards:
             d_global = np.concatenate(gathered[shard.rank],
@@ -436,6 +602,205 @@ class NeoTrainer:
             self._apply_sparse(by_rank[r], sparse)
 
     # ------------------------------------------------------------------
+    # shared per-phase helpers: each is used by train_step AND
+    # eval_forward, and each is the single looped-vs-stacked seam for
+    # its phase (the stacked branch advances all ranks with one batched
+    # kernel; the looped branch is the per-rank reference oracle)
+    # ------------------------------------------------------------------
+    def _check_batches(self, local_batches: List[MiniBatch]) -> int:
+        if len(local_batches) != self.world_size:
+            raise ValueError(
+                f"need {self.world_size} local batches, "
+                f"got {len(local_batches)}")
+        sizes = {b.batch_size for b in local_batches}
+        if len(sizes) != 1:
+            raise ValueError(f"local batches must be equal size, got {sizes}")
+        return sizes.pop()
+
+    def _bottom_forward(self, local_batches: List[MiniBatch]):
+        """Bottom MLP over all ranks: (R, B, D) stacked, or per-rank list."""
+        ss = self._stacked_state
+        if ss is not None:
+            dense_in = np.stack([b.dense for b in local_batches], axis=0)
+            return ss.bottom.forward(dense_in)
+        return [self.ranks[r].bottom.forward(local_batches[r].dense)
+                for r in range(self.world_size)]
+
+    def _table_forward(self, t: EmbeddingTableConfig, table_plan,
+                       inputs: List[Tuple[np.ndarray, np.ndarray]],
+                       local_batch: int) -> List[np.ndarray]:
+        """Scheme dispatch for one table's forward (Fig. 8 patterns)."""
+        scheme = table_plan.scheme
+        if scheme == ShardingScheme.TABLE_WISE:
+            return self._forward_table_wise(
+                t, table_plan.shards[0], inputs, local_batch)
+        if scheme == ShardingScheme.COLUMN_WISE:
+            return self._forward_column_wise(
+                t, table_plan.shards, inputs, local_batch)
+        if scheme in (ShardingScheme.ROW_WISE,
+                      ShardingScheme.TABLE_ROW_WISE):
+            return self._forward_row_wise(
+                t, table_plan.shards, inputs, local_batch)
+        return self._forward_data_parallel(table_plan.shards, inputs)
+
+    def _embedding_forward(self, local_batches: List[MiniBatch],
+                           local_batch: int, spans: bool
+                           ) -> Dict[str, List[np.ndarray]]:
+        """All tables' pooled lookups; ``spans`` wraps each table in a
+        ``trainer.table_fwd`` span (train path) or not (eval path)."""
+        pooled: Dict[str, List[np.ndarray]] = {}
+        for t in self.config.tables:
+            table_plan = self.plan.tables[t.name]
+            inputs = [local_batches[r].sparse[t.name]
+                      for r in range(self.world_size)]
+            if spans:
+                with self.tracer.span("trainer.table_fwd", cat="trainer",
+                                      table=t.name,
+                                      scheme=table_plan.scheme.value):
+                    pooled[t.name] = self._table_forward(
+                        t, table_plan, inputs, local_batch)
+            else:
+                pooled[t.name] = self._table_forward(
+                    t, table_plan, inputs, local_batch)
+        return pooled
+
+    def _interaction_forward(self, dense_out, pooled):
+        """Projections + interaction; returns (R, B, I) or per-rank list."""
+        ss = self._stacked_state
+        if ss is not None:
+            features = [dense_out]
+            for t in self.config.tables:
+                value = np.stack(list(pooled[t.name]), axis=0)
+                if t.name in ss.projections:
+                    value = ss.projections[t.name].forward(value)
+                features.append(value)
+            return ss.interaction.forward_list(features)
+        interacted = []
+        for r in range(self.world_size):
+            state = self.ranks[r]
+            features = [dense_out[r]]
+            for t in self.config.tables:
+                value = pooled[t.name][r]
+                if t.name in state.projections:
+                    value = state.projections[t.name].forward(value)
+                features.append(value)
+            interacted.append(state.interaction.forward_list(features))
+        return interacted
+
+    def _top_forward(self, interacted):
+        """Top MLP logits: (R, B) stacked, or per-rank (B,) list."""
+        ss = self._stacked_state
+        if ss is not None:
+            return ss.top.forward(interacted)[..., 0]
+        return [self.ranks[r].top.forward(interacted[r])[:, 0]
+                for r in range(self.world_size)]
+
+    def _loss_forward(self, logits, local_batches: List[MiniBatch]):
+        """Per-rank mean BCE losses: (R,) stacked, or list of floats."""
+        ss = self._stacked_state
+        if ss is not None:
+            labels = np.stack([b.labels for b in local_batches], axis=0)
+            return ss.loss_fn.forward(logits, labels)
+        return [self.ranks[r].loss_fn.forward(logits[r],
+                                              local_batches[r].labels)
+                for r in range(self.world_size)]
+
+    def _dense_backward(self) -> Dict[str, object]:
+        """Loss -> top -> interaction -> bottom backward; returns each
+        table's pooled-embedding gradient — a (R, B, D) array in stacked
+        mode, a per-rank list otherwise."""
+        ss = self._stacked_state
+        if ss is not None:
+            for p in ss.dense_parameters():
+                p.zero_grad()
+            d_logits = ss.loss_fn.backward()[..., None]
+            d_inter = ss.top.backward(d_logits)
+            d_features = ss.interaction.backward_list(d_inter)
+            ss.bottom.backward(d_features[0])
+            d_pooled: Dict[str, object] = {}
+            for i, t in enumerate(self.config.tables):
+                grad = d_features[1 + i]
+                if t.name in ss.projections:
+                    grad = ss.projections[t.name].backward(grad)
+                d_pooled[t.name] = grad
+            return d_pooled
+        d_pooled = {t.name: [] for t in self.config.tables}
+        for r in range(self.world_size):
+            state = self.ranks[r]
+            for p in state.dense_parameters():
+                p.zero_grad()
+            d_logits = state.loss_fn.backward()[:, None]
+            d_inter = state.top.backward(d_logits)
+            d_features = state.interaction.backward_list(d_inter)
+            state.bottom.backward(d_features[0])
+            for i, t in enumerate(self.config.tables):
+                grad = d_features[1 + i]
+                if t.name in state.projections:
+                    grad = state.projections[t.name].backward(grad)
+                d_pooled[t.name].append(grad)
+        return d_pooled
+
+    def _table_backward(self, table_plan, d_pooled) -> None:
+        """Scheme dispatch for one table's backward. ``d_pooled`` may be
+        the stacked (R, B, D) gradient: row-wise keeps it whole (its
+        AllGather ships the stack in one call); other schemes consume
+        per-rank slices, bitwise equal to the looped payloads."""
+        scheme = table_plan.scheme
+        if scheme in (ShardingScheme.ROW_WISE,
+                      ShardingScheme.TABLE_ROW_WISE):
+            self._backward_row_wise(table_plan.shards, d_pooled)
+            return
+        if isinstance(d_pooled, np.ndarray):
+            d_pooled = [d_pooled[r] for r in range(self.world_size)]
+        if scheme == ShardingScheme.TABLE_WISE:
+            self._backward_table_wise(table_plan.shards[0], d_pooled)
+        elif scheme == ShardingScheme.COLUMN_WISE:
+            self._backward_column_wise(table_plan.shards, d_pooled)
+        else:
+            self._backward_data_parallel(table_plan.shards, d_pooled)
+
+    def _dense_allreduce(self):
+        """Bucketed DDP gradient sync; returns the reduced flat buckets
+        ((R, elems) arrays stacked, else per-rank lists of buckets)."""
+        w = self.world_size
+        ss = self._stacked_state
+        if ss is not None:
+            flats = self._bucketer.flatten_stacked(
+                [p.grad for p in ss.dense_parameters()])
+            for b in range(self._bucketer.num_buckets):
+                flats[b] = self.pg.all_reduce(flats[b]).stacked
+            return flats
+        flat_per_rank = [
+            self._bucketer.flatten([p.grad for p in
+                                    self.ranks[r].dense_parameters()])
+            for r in range(w)]
+        for b in range(self._bucketer.num_buckets):
+            reduced = self.pg.all_reduce([flat_per_rank[r][b]
+                                          for r in range(w)])
+            for r in range(w):
+                flat_per_rank[r][b] = reduced[r]
+        return flat_per_rank
+
+    def _optimizer_step(self, flats) -> List[nn.Parameter]:
+        """Unflatten reduced buckets, average, step. Returns the
+        parameter list whose ``.grad`` mirrors rank 0 (for read-only
+        instrumentation)."""
+        w = self.world_size
+        ss = self._stacked_state
+        if ss is not None:
+            params = ss.dense_parameters()
+            for p, g in zip(params, self._bucketer.unflatten_stacked(flats)):
+                p.grad = (g / w).astype(np.float32)
+            ss.dense_opt.step()
+            return params
+        for r in range(w):
+            grads = self._bucketer.unflatten(flats[r])
+            for p, g in zip(self.ranks[r].dense_parameters(), grads):
+                p.grad = (g / w).astype(np.float32)
+            self.ranks[r].dense_opt.step()
+        return self.ranks[0].dense_parameters()
+
+    # ------------------------------------------------------------------
     # the training step
     # ------------------------------------------------------------------
     def train_step(self, local_batches: List[MiniBatch]) -> float:
@@ -443,7 +808,8 @@ class NeoTrainer:
 
         Returns the global mean loss. All ranks advance together; the
         update is mathematically the single-process update on the
-        concatenated global batch.
+        concatenated global batch, and bitwise identical between the
+        rank-stacked and looped execution modes.
 
         When tracing is enabled (``trace=`` at construction) each phase
         runs under a span (``trainer.bottom_mlp_fwd`` ... ``trainer.
@@ -451,13 +817,7 @@ class NeoTrainer:
         byte-for-byte identical either way — instrumentation only reads.
         """
         w = self.world_size
-        if len(local_batches) != w:
-            raise ValueError(
-                f"need {w} local batches, got {len(local_batches)}")
-        sizes = {b.batch_size for b in local_batches}
-        if len(sizes) != 1:
-            raise ValueError(f"local batches must be equal size, got {sizes}")
-        local_batch = sizes.pop()
+        local_batch = self._check_batches(local_batches)
         tr = self.tracer
         # announce the iteration boundary (v2 ProcessGroup API) so
         # wrappers can key scheduled faults on the logical step
@@ -467,122 +827,51 @@ class NeoTrainer:
                      local_batch=local_batch):
             # forward: bottom MLP (data parallel)
             with tr.span("trainer.bottom_mlp_fwd", cat="trainer"):
-                dense_out = [
-                    self.ranks[r].bottom.forward(local_batches[r].dense)
-                    for r in range(w)]
+                dense_out = self._bottom_forward(local_batches)
 
             # forward: embeddings per table, per scheme
-            pooled: Dict[str, List[np.ndarray]] = {}
             with tr.span("trainer.embedding_fwd", cat="trainer"):
-                for t in self.config.tables:
-                    table_plan = self.plan.tables[t.name]
-                    inputs = [local_batches[r].sparse[t.name]
-                              for r in range(w)]
-                    scheme = table_plan.scheme
-                    with tr.span("trainer.table_fwd", cat="trainer",
-                                 table=t.name, scheme=scheme.value):
-                        if scheme == ShardingScheme.TABLE_WISE:
-                            pooled[t.name] = self._forward_table_wise(
-                                t, table_plan.shards[0], inputs, local_batch)
-                        elif scheme == ShardingScheme.COLUMN_WISE:
-                            pooled[t.name] = self._forward_column_wise(
-                                t, table_plan.shards, inputs, local_batch)
-                        elif scheme in (ShardingScheme.ROW_WISE,
-                                        ShardingScheme.TABLE_ROW_WISE):
-                            pooled[t.name] = self._forward_row_wise(
-                                t, table_plan.shards, inputs, local_batch)
-                        else:  # DATA_PARALLEL
-                            pooled[t.name] = self._forward_data_parallel(
-                                table_plan.shards, inputs)
+                pooled = self._embedding_forward(local_batches, local_batch,
+                                                 spans=True)
 
             # forward: per-feature projections + interaction (data parallel)
             with tr.span("trainer.interaction_fwd", cat="trainer"):
-                interacted = []
-                for r in range(w):
-                    state = self.ranks[r]
-                    features = [dense_out[r]]
-                    for t in self.config.tables:
-                        value = pooled[t.name][r]
-                        if t.name in state.projections:
-                            value = state.projections[t.name].forward(value)
-                        features.append(value)
-                    interacted.append(
-                        state.interaction.forward_list(features))
+                interacted = self._interaction_forward(dense_out, pooled)
 
             # forward: top MLP + loss (data parallel)
             with tr.span("trainer.top_mlp_fwd", cat="trainer"):
-                losses = []
-                for r in range(w):
-                    state = self.ranks[r]
-                    logits = state.top.forward(interacted[r])[:, 0]
-                    losses.append(state.loss_fn.forward(
-                        logits, local_batches[r].labels))
+                logits = self._top_forward(interacted)
+                losses = self._loss_forward(logits, local_batches)
 
             # backward: top MLP + interaction + bottom MLP (data parallel)
-            d_pooled: Dict[str, List[np.ndarray]] = {
-                t.name: [] for t in self.config.tables}
             with tr.span("trainer.dense_bwd", cat="trainer"):
-                for r in range(w):
-                    state = self.ranks[r]
-                    for p in state.dense_parameters():
-                        p.zero_grad()
-                    d_logits = state.loss_fn.backward()[:, None]
-                    d_inter = state.top.backward(d_logits)
-                    d_features = state.interaction.backward_list(d_inter)
-                    state.bottom.backward(d_features[0])
-                    for i, t in enumerate(self.config.tables):
-                        grad = d_features[1 + i]
-                        if t.name in state.projections:
-                            grad = state.projections[t.name].backward(grad)
-                        d_pooled[t.name].append(grad)
+                d_pooled = self._dense_backward()
 
             # backward: embeddings per table (exact sparse updates)
             with tr.span("trainer.embedding_bwd", cat="trainer"):
                 for t in self.config.tables:
                     table_plan = self.plan.tables[t.name]
-                    scheme = table_plan.scheme
                     with tr.span("trainer.table_bwd", cat="trainer",
-                                 table=t.name, scheme=scheme.value):
-                        if scheme == ShardingScheme.TABLE_WISE:
-                            self._backward_table_wise(table_plan.shards[0],
-                                                      d_pooled[t.name])
-                        elif scheme == ShardingScheme.COLUMN_WISE:
-                            self._backward_column_wise(table_plan.shards,
-                                                       d_pooled[t.name])
-                        elif scheme in (ShardingScheme.ROW_WISE,
-                                        ShardingScheme.TABLE_ROW_WISE):
-                            self._backward_row_wise(table_plan.shards,
-                                                    d_pooled[t.name])
-                        else:
-                            self._backward_data_parallel(table_plan.shards,
-                                                         d_pooled[t.name])
+                                 table=t.name,
+                                 scheme=table_plan.scheme.value):
+                        self._table_backward(table_plan, d_pooled[t.name])
 
             # gradient sync (DDP semantics, bucketed — one AllReduce per
             # ~25 MB bucket, not per parameter)
             with tr.span("trainer.allreduce", cat="trainer"):
-                flat_per_rank = [
-                    self._bucketer.flatten([p.grad for p in
-                                            self.ranks[r].dense_parameters()])
-                    for r in range(w)]
-                for b in range(self._bucketer.num_buckets):
-                    reduced = self.pg.all_reduce([flat_per_rank[r][b]
-                                                  for r in range(w)])
-                    for r in range(w):
-                        flat_per_rank[r][b] = reduced[r]
+                flats = self._dense_allreduce()
 
             # dense optimizer step
             with tr.span("trainer.optimizer", cat="trainer"):
-                for r in range(w):
-                    grads = self._bucketer.unflatten(flat_per_rank[r])
-                    for p, g in zip(self.ranks[r].dense_parameters(), grads):
-                        p.grad = (g / w).astype(np.float32)
-                    self.ranks[r].dense_opt.step()
+                ref_params = self._optimizer_step(flats)
                 if tr.enabled:
                     # read-only instrumentation: global dense grad norm
                     # (identical on every rank after the AllReduce)
                     norm = float(np.sqrt(sum(
-                        float(np.sum(p.grad.astype(np.float64) ** 2))
-                        for p in self.ranks[0].dense_parameters())))
+                        float(np.sum(np.asarray(
+                            p.grad[0] if getattr(p, "stacked", False)
+                            else p.grad).astype(np.float64) ** 2))
+                        for p in ref_params)))
                     self.metrics.histogram("trainer.grad_norm").record(norm)
         self.steps += 1
         return float(np.mean(losses))
@@ -602,47 +891,52 @@ class NeoTrainer:
         the forward half of :meth:`train_step`.
         """
         w = self.world_size
-        if len(local_batches) != w:
-            raise ValueError(
-                f"need {w} local batches, got {len(local_batches)}")
-        sizes = {b.batch_size for b in local_batches}
-        if len(sizes) != 1:
-            raise ValueError(f"local batches must be equal size, got {sizes}")
-        local_batch = sizes.pop()
+        local_batch = self._check_batches(local_batches)
         with self.tracer.span("trainer.eval_forward", cat="trainer",
                               local_batch=local_batch):
-            dense_out = [self.ranks[r].bottom.forward(local_batches[r].dense)
-                         for r in range(w)]
-            pooled: Dict[str, List[np.ndarray]] = {}
-            for t in self.config.tables:
-                table_plan = self.plan.tables[t.name]
-                inputs = [local_batches[r].sparse[t.name] for r in range(w)]
-                scheme = table_plan.scheme
-                if scheme == ShardingScheme.TABLE_WISE:
-                    pooled[t.name] = self._forward_table_wise(
-                        t, table_plan.shards[0], inputs, local_batch)
-                elif scheme == ShardingScheme.COLUMN_WISE:
-                    pooled[t.name] = self._forward_column_wise(
-                        t, table_plan.shards, inputs, local_batch)
-                elif scheme in (ShardingScheme.ROW_WISE,
-                                ShardingScheme.TABLE_ROW_WISE):
-                    pooled[t.name] = self._forward_row_wise(
-                        t, table_plan.shards, inputs, local_batch)
-                else:
-                    pooled[t.name] = self._forward_data_parallel(
-                        table_plan.shards, inputs)
-            logits = []
-            for r in range(w):
-                state = self.ranks[r]
-                features = [dense_out[r]]
-                for t in self.config.tables:
-                    value = pooled[t.name][r]
-                    if t.name in state.projections:
-                        value = state.projections[t.name].forward(value)
-                    features.append(value)
-                interacted = state.interaction.forward_list(features)
-                logits.append(state.top.forward(interacted)[:, 0])
+            dense_out = self._bottom_forward(local_batches)
+            pooled = self._embedding_forward(local_batches, local_batch,
+                                             spans=False)
+            interacted = self._interaction_forward(dense_out, pooled)
+            logits = self._top_forward(interacted)
+        if isinstance(logits, np.ndarray):  # stacked (R, B) -> per-rank
+            return [logits[r].copy() for r in range(w)]
         return logits
+
+    # ------------------------------------------------------------------
+    # checkpoint restore
+    # ------------------------------------------------------------------
+    def load_dense_state(self, dense: Dict[int, np.ndarray],
+                         opt_state: Dict[int, Dict[str, np.ndarray]]
+                         ) -> None:
+        """Restore dense parameters and optimizer slot state from
+        checkpoint payloads (``dense[i]`` is parameter ``i`` at per-rank
+        shape; ``opt_state[i]`` its optimizer slots).
+
+        Works identically for looped and stacked trainers, so a
+        checkpoint written by either mode resumes bitwise in the other.
+        Stacked mode broadcast-writes each value across the leading axis
+        *in place*, preserving the per-rank parameter views, and
+        restores slot state at per-rank shape: every optimizer update is
+        elementwise over the replica axis, so the first step broadcasts
+        the state back to stacked shape with bitwise-identical values.
+        """
+        ss = self._stacked_state
+        if ss is not None:
+            for i, sp in enumerate(ss.dense_parameters()):
+                sp.data[...] = dense[i][None]
+                slot = ss.dense_opt.state_for(sp)
+                slot.clear()
+                for name, value in opt_state.get(i, {}).items():
+                    slot[name] = value.copy()
+            return
+        for state in self.ranks:
+            for i, p in enumerate(state.dense_parameters()):
+                p.data = dense[i].copy()
+                slot = state.dense_opt.state_for(p)
+                slot.clear()
+                for name, value in opt_state.get(i, {}).items():
+                    slot[name] = value.copy()
 
     # ------------------------------------------------------------------
     # inspection / export

@@ -17,6 +17,8 @@ __all__ = [
     "softmax",
     "bce_with_logits",
     "bce_with_logits_grad",
+    "bce_with_logits_stacked",
+    "bce_with_logits_grad_stacked",
 ]
 
 
@@ -67,4 +69,23 @@ def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> float:
 def bce_with_logits_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
     """d(mean BCE)/d(logits) = (sigmoid(x) - y) / N."""
     n = logits.size
+    return ((sigmoid(logits) - labels) / n).astype(np.float32)
+
+
+def bce_with_logits_stacked(logits: np.ndarray,
+                            labels: np.ndarray) -> np.ndarray:
+    """Per-row mean BCE over the last axis for rank-stacked ``(R, B)``
+    logits; row ``r`` is bitwise :func:`bce_with_logits` of slice ``r``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    loss = np.maximum(logits, 0.0) - logits * labels \
+        + np.log1p(np.exp(-np.abs(logits)))
+    return np.mean(loss, axis=-1)
+
+
+def bce_with_logits_grad_stacked(logits: np.ndarray,
+                                 labels: np.ndarray) -> np.ndarray:
+    """Per-row gradient for ``(R, B)`` logits: each row divides by its
+    own batch size, matching the unstacked per-rank gradient bitwise."""
+    n = logits.shape[-1]
     return ((sigmoid(logits) - labels) / n).astype(np.float32)

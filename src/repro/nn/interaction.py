@@ -45,20 +45,30 @@ class DotInteraction(Module):
         return np.tril_indices(f, k=offset)
 
     def forward_list(self, features: List[np.ndarray]) -> np.ndarray:
-        """Forward over a list of (B, D) arrays; first entry is the dense x."""
+        """Forward over a list of (B, D) arrays; first entry is the dense x.
+
+        Rank-stacked mode: (R, B, D) features produce (R, B, D + P)
+        output, slice ``r`` bitwise identical to the 2-D path on rank
+        ``r``'s feature slices.
+        """
         if not features:
             raise ValueError("need at least one feature")
         dims = {f.shape for f in features}
         if len(dims) != 1:
             raise ValueError(f"all features must share shape, got {dims}")
-        stacked = np.stack(features, axis=1).astype(np.float32)  # (B, F, D)
+        stacked = np.stack(features, axis=-2).astype(np.float32)  # (..., F, D)
         self._stacked = stacked
-        self._num_features = stacked.shape[1]
-        self._dim = stacked.shape[2]
-        gram = np.einsum("bfd,bgd->bfg", stacked, stacked)
+        self._num_features = stacked.shape[-2]
+        self._dim = stacked.shape[-1]
         rows, cols = self._tril_indices(self._num_features)
-        flat = gram[:, rows, cols]  # (B, P)
-        return np.concatenate([features[0], flat], axis=1).astype(np.float32)
+        if stacked.ndim == 4:
+            gram = np.einsum("rbfd,rbgd->rbfg", stacked, stacked)
+            flat = gram[:, :, rows, cols]  # (R, B, P)
+        else:
+            gram = np.einsum("bfd,bgd->bfg", stacked, stacked)
+            flat = gram[:, rows, cols]  # (B, P)
+        return np.concatenate([features[0], flat],
+                              axis=-1).astype(np.float32)
 
     # Module interface: treat a pre-stacked (B, F, D) array as the input.
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -67,26 +77,37 @@ class DotInteraction(Module):
         return self.forward_list([x[:, i, :] for i in range(x.shape[1])])
 
     def backward_list(self, dy: np.ndarray) -> List[np.ndarray]:
-        """Backward returning per-feature gradients, each (B, D)."""
+        """Backward returning per-feature gradients, each (B, D) — or
+        each (R, B, D) in rank-stacked mode."""
         if self._stacked is None:
             raise RuntimeError("backward called before forward")
-        b, f, d = self._stacked.shape
-        d_dense = dy[:, :d]
-        d_flat = dy[:, d:]
+        f, d = self._stacked.shape[-2:]
+        d_dense = dy[..., :d]
+        d_flat = dy[..., d:]
         rows, cols = self._tril_indices(f)
-        d_gram = np.zeros((b, f, f), dtype=np.float32)
-        d_gram[:, rows, cols] = d_flat
         # gram is x x^T; symmetrizing also yields the required factor of 2
         # on diagonal (self-interaction) terms since d(x.x)/dx = 2x.
-        d_gram = d_gram + d_gram.transpose(0, 2, 1)
-        d_stacked = np.einsum("bfg,bgd->bfd", d_gram, self._stacked)
-        grads = [d_stacked[:, i, :].astype(np.float32) for i in range(f)]
+        if self._stacked.ndim == 4:
+            r, b = self._stacked.shape[:2]
+            d_gram = np.zeros((r, b, f, f), dtype=np.float32)
+            d_gram[:, :, rows, cols] = d_flat
+            d_gram = d_gram + d_gram.transpose(0, 1, 3, 2)
+            d_stacked = np.einsum("rbfg,rbgd->rbfd", d_gram, self._stacked)
+            grads = [d_stacked[:, :, i, :].astype(np.float32)
+                     for i in range(f)]
+        else:
+            b = self._stacked.shape[0]
+            d_gram = np.zeros((b, f, f), dtype=np.float32)
+            d_gram[:, rows, cols] = d_flat
+            d_gram = d_gram + d_gram.transpose(0, 2, 1)
+            d_stacked = np.einsum("bfg,bgd->bfd", d_gram, self._stacked)
+            grads = [d_stacked[:, i, :].astype(np.float32) for i in range(f)]
         grads[0] = grads[0] + d_dense
         return grads
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         grads = self.backward_list(dy)
-        return np.stack(grads, axis=1)
+        return np.stack(grads, axis=-2)
 
 
 class CatInteraction(Module):
@@ -100,7 +121,7 @@ class CatInteraction(Module):
 
     def forward_list(self, features: List[np.ndarray]) -> np.ndarray:
         self._shapes = [f.shape for f in features]
-        return np.concatenate(features, axis=1).astype(np.float32)
+        return np.concatenate(features, axis=-1).astype(np.float32)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3:
@@ -113,10 +134,10 @@ class CatInteraction(Module):
         grads = []
         start = 0
         for shape in self._shapes:
-            width = shape[1]
-            grads.append(dy[:, start:start + width].astype(np.float32))
+            width = shape[-1]
+            grads.append(dy[..., start:start + width].astype(np.float32))
             start += width
         return grads
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
-        return np.stack(self.backward_list(dy), axis=1)
+        return np.stack(self.backward_list(dy), axis=-2)

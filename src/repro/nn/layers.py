@@ -48,6 +48,14 @@ class Linear(Module):
     Weight shape is ``(out_features, in_features)`` to match the PyTorch
     convention, which keeps checkpoints interchangeable with the reference
     DLRM implementation.
+
+    Rank-stacked mode (:mod:`repro.nn.stacked`): when the weight has been
+    replaced by a ``(R, out_features, in_features)`` stacked parameter,
+    ``forward``/``backward`` take ``(R, B, in)`` / ``(R, B, out)`` arrays
+    and run one batched ``np.matmul`` over the leading axis. Every slice
+    ``r`` of the result is bitwise identical to the 2-D path on that
+    rank's data — ``np.matmul`` computes each leading-axis slice with the
+    same GEMM the 2-D ``@`` uses.
     """
 
     def __init__(self, in_features: int, out_features: int,
@@ -65,15 +73,28 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._input = x
-        y = x @ self.weight.data.T
-        if self.bias is not None:
-            y = y + self.bias.data
+        w = self.weight.data
+        if w.ndim == 3:  # stacked: (R, B, in) @ (R, in, out)
+            y = np.matmul(x, w.transpose(0, 2, 1))
+            if self.bias is not None:
+                y = y + self.bias.data[:, None, :]
+        else:
+            y = x @ w.T
+            if self.bias is not None:
+                y = y + self.bias.data
         return y.astype(np.float32)
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         x = self._input
+        w = self.weight.data
+        if w.ndim == 3:  # stacked: per-rank dy.T @ x, dy.sum, dy @ W
+            self.weight.accumulate_grad(
+                np.matmul(dy.transpose(0, 2, 1), x).astype(np.float32))
+            if self.bias is not None:
+                self.bias.accumulate_grad(dy.sum(axis=1).astype(np.float32))
+            return np.matmul(dy, w).astype(np.float32)
         self.weight.accumulate_grad((dy.T @ x).astype(np.float32))
         if self.bias is not None:
             self.bias.accumulate_grad(dy.sum(axis=0).astype(np.float32))

@@ -17,23 +17,31 @@ class BCEWithLogitsLoss:
     ``forward`` returns a scalar loss; ``backward`` returns the gradient of
     that scalar w.r.t. the logits (already divided by the batch size, so the
     rest of the backward pass needs no extra scaling).
+
+    Rank-stacked mode: ``(R, B)`` logits/labels produce a ``(R,)`` array
+    of per-rank losses (row ``r`` bitwise equal to the scalar path on
+    rank ``r``'s slice) and a per-row-normalized gradient.
     """
 
     def __init__(self) -> None:
         self._logits: Optional[np.ndarray] = None
         self._labels: Optional[np.ndarray] = None
 
-    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+    def forward(self, logits: np.ndarray, labels: np.ndarray):
         if logits.shape != labels.shape:
             raise ValueError(
                 f"logits shape {logits.shape} != labels shape {labels.shape}")
         self._logits = logits
         self._labels = labels.astype(np.float32)
+        if logits.ndim == 2:
+            return F.bce_with_logits_stacked(logits, labels)
         return F.bce_with_logits(logits, labels)
 
     def backward(self) -> np.ndarray:
         if self._logits is None or self._labels is None:
             raise RuntimeError("backward called before forward")
+        if self._logits.ndim == 2:
+            return F.bce_with_logits_grad_stacked(self._logits, self._labels)
         return F.bce_with_logits_grad(self._logits, self._labels)
 
     def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:

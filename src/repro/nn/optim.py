@@ -117,6 +117,13 @@ class LAMB(Optimizer):
     The paper cites LAMB as one of the advanced optimizers whose
     non-linearity makes naive duplicated sparse updates incorrect — which is
     why the exact (sorted/merged) sparse update path exists.
+
+    Rank-stacked parameters (``Parameter.stacked``, leading axis =
+    replicas) need per-rank trust ratios: the layer-wise norm is a norm
+    over one replica's weight, not over the whole ``(R, ...)`` stack.
+    The moments stay fully vectorized; only the two norms per rank are
+    computed slice-wise so each replica's update is bitwise identical to
+    the unstacked path.
     """
 
     def __init__(self, params: Sequence[Parameter], lr: float = 1e-3,
@@ -141,6 +148,21 @@ class LAMB(Optimizer):
         update = m_hat / (np.sqrt(v_hat) + self.eps)
         if self.weight_decay:
             update = update + self.weight_decay * p.data
+        if getattr(p, "stacked", False):
+            replicas = p.data.shape[0]
+            # float32 scale, computed scalar-side in double exactly like
+            # the unstacked `self.lr * trust * update` (scalar * float32
+            # array multiplies in float32 after a single double product)
+            scale = np.empty((replicas,) + (1,) * (p.data.ndim - 1),
+                             dtype=np.float32)
+            for r in range(replicas):
+                w_norm = float(np.linalg.norm(p.data[r]))
+                u_norm = float(np.linalg.norm(update[r]))
+                trust = w_norm / u_norm \
+                    if w_norm > 0 and u_norm > 0 else 1.0
+                scale[r] = self.lr * trust
+            p.data -= (scale * update).astype(np.float32)
+            return
         w_norm = float(np.linalg.norm(p.data))
         u_norm = float(np.linalg.norm(update))
         trust = w_norm / u_norm if w_norm > 0 and u_norm > 0 else 1.0

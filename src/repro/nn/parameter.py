@@ -24,12 +24,19 @@ class Parameter:
         in FP32; reduced precision is applied to embeddings and comms only).
     name:
         Stable identifier, used for checkpointing and AllReduce bucketing.
+
+    A parameter whose leading axis enumerates simulated ranks (the
+    rank-stacked training mode, see :mod:`repro.nn.stacked`) carries
+    ``stacked=True`` so shape-ambiguous consumers — e.g. LAMB's
+    layer-wise trust ratio — know the first axis is replicas, not a
+    model dimension.
     """
 
     def __init__(self, data: np.ndarray, name: str = "param") -> None:
         self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.grad: np.ndarray | None = None
         self.name = name
+        self.stacked = False
 
     @property
     def shape(self) -> tuple:
@@ -57,6 +64,7 @@ class Parameter:
     def copy(self) -> "Parameter":
         """Deep copy (used by data-parallel replication and checkpoints)."""
         clone = Parameter(self.data.copy(), self.name)
+        clone.stacked = self.stacked
         if self.grad is not None:
             clone.grad = self.grad.copy()
         return clone
