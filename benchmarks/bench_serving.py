@@ -99,6 +99,7 @@ def measure(config):
 def as_json(config, results):
     def report_dict(r):
         d = dict(r.__dict__)
+        d.pop("samples_s", None)  # raw samples stay out of the JSON
         d["shed_fraction"] = r.shed_fraction
         return d
     return {

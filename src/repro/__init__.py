@@ -16,6 +16,7 @@ Layering (bottom-up):
 * :mod:`repro.perf` — device rooflines and end-to-end throughput model
 * :mod:`repro.baselines` — async parameter-server and Zion comparisons
 * :mod:`repro.serving` — frozen-model export, micro-batching, SLO serving
+* :mod:`repro.fleet` — multi-replica serving: routing, autoscaling, traffic
 * :mod:`repro.metrics` — normalized entropy et al.
 """
 
@@ -34,6 +35,7 @@ __all__ = [
     "perf",
     "baselines",
     "serving",
+    "fleet",
     "metrics",
     "lowp",
 ]

@@ -19,6 +19,11 @@
   through the double-buffered model slot) and prints the staleness vs
   held-out-NE vs goodput curve; ``--freshness-budget-s`` derives the
   cadence from the :mod:`repro.perf.online` cluster sizing instead.
+* ``python -m repro fleet-bench`` — serves a compressed diurnal day
+  (seeded NHPP arrivals over a Zipf user population) through a
+  multi-replica fleet under the SLO-driven autoscaler and prints the
+  per-window scaling timeline plus the replica-hours saved against the
+  cheapest static fleet that holds the same SLO.
 """
 
 from __future__ import annotations
@@ -276,6 +281,75 @@ def online_bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def fleet_bench_command(args: argparse.Namespace) -> int:
+    """Serve a compressed diurnal day through an autoscaled replica
+    fleet and compare against the cheapest static fleet."""
+    from repro.data import SyntheticCTRDataset
+    from repro.fleet import (DEFAULT_DAY_CURVE, AutoscalerConfig, DayCurve,
+                             FleetTraffic, RouterPolicy, ServingFleet,
+                             replica_warmup_s, run_autoscaled_day,
+                             smallest_static_fleet)
+    from repro.models import DLRM, mini_config
+    from repro.serving import (BatchingPolicy, FreezeConfig,
+                               ServingPerfModel, freeze)
+
+    if args.replicas < 1 or args.users < 1:
+        print("error: --replicas and --users must be positive",
+              file=sys.stderr)
+        return 2
+    if args.duration <= 0 or args.slo_ms <= 0 or args.window_s <= 0:
+        print("error: --duration, --slo-ms and --window-s must be "
+              "positive", file=sys.stderr)
+        return 2
+
+    config = mini_config(args.model)
+    model = freeze(DLRM(config, seed=args.seed),
+                   FreezeConfig(precision=args.precision))
+    dataset = SyntheticCTRDataset(config.tables, dense_dim=config.dense_dim,
+                                  seed=args.seed)
+    fleet = ServingFleet(
+        model,
+        policy=BatchingPolicy(max_batch_size=args.max_batch,
+                              max_wait_s=0.05),
+        perfs=[ServingPerfModel(overhead_s=args.overhead_ms * 1e-3)
+               for _ in range(args.replicas)],
+        router=RouterPolicy(kind=args.router, seed=args.seed))
+    nnz = sum(t.avg_pooling for t in config.tables)
+    fleet_cap = fleet.capacity_qps(args.max_batch, nnz)
+    mean_qps = args.qps if args.qps is not None else 0.6 * fleet_cap
+    traffic = FleetTraffic(
+        mean_qps=mean_qps, duration_s=args.duration,
+        curve=DayCurve(hourly=DEFAULT_DAY_CURVE, day_s=args.duration),
+        num_users=args.users, seed=args.seed)
+    requests = traffic.requests(dataset)
+    cfg = AutoscalerConfig(
+        slo_s=args.slo_ms * 1e-3, window_s=args.window_s,
+        min_replicas=1, max_replicas=args.replicas,
+        up_p99_frac=0.4, down_p99_frac=0.3, cooldown_s=2 * args.window_s)
+
+    print(f"fleet-bench: {args.model} mini ({args.precision} embeddings), "
+          f"{args.replicas}x {args.router} replicas "
+          f"({fleet_cap:.0f} qps fleet capacity), {len(requests)} "
+          f"requests from {args.users} users over a {args.duration:.0f} s "
+          f"day, SLO {args.slo_ms:.0f} ms, replica warm-up "
+          f"{replica_warmup_s(model) * 1e3:.0f} ms\n")
+    elastic = run_autoscaled_day(fleet, requests, cfg)
+    print(elastic.render())
+    static = smallest_static_fleet(fleet, requests, cfg)
+    saved = 1.0 - elastic.replica_seconds / static.replica_seconds
+    print(f"\nautoscaled: {elastic.replica_seconds:.0f} replica-s, "
+          f"peak {elastic.peak_replicas}, trough "
+          f"{elastic.trough_replicas}, p99 "
+          f"{elastic.merged.p99_s * 1e3:.1f} ms, SLO held "
+          f"{elastic.slo_held}")
+    print(f"static x{static.peak_replicas}: "
+          f"{static.replica_seconds:.0f} replica-s, p99 "
+          f"{static.merged.p99_s * 1e3:.1f} ms, SLO held "
+          f"{static.slo_held}")
+    print(f"replica-seconds saved by elasticity: {saved * 100:.0f}%")
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.models import MODEL_NAMES
 
@@ -349,6 +423,38 @@ def main(argv=None) -> int:
                                "(with --freshness-budget-s)")
     online_p.add_argument("--seed", type=int, default=0,
                           help="traffic / model / dataset seed")
+    fleet_p = sub.add_parser(
+        "fleet-bench",
+        help="autoscale a replica fleet through a diurnal day")
+    fleet_p.add_argument("--model", default="A2", choices=MODEL_NAMES,
+                         help="Table 3 model whose mini config to serve")
+    fleet_p.add_argument("--precision", default="fp32",
+                         choices=("fp32", "fp16", "bf16", "int8"),
+                         help="embedding storage precision at freeze time")
+    fleet_p.add_argument("--replicas", type=int, default=4,
+                         help="fleet size (autoscaler ceiling)")
+    fleet_p.add_argument("--router", default="power_of_two",
+                         choices=("round_robin", "least_loaded",
+                                  "power_of_two"),
+                         help="routing policy across replicas")
+    fleet_p.add_argument("--qps", type=float, default=None,
+                         help="mean offered load (default: 60%% of fleet "
+                              "capacity)")
+    fleet_p.add_argument("--duration", type=float, default=40.0,
+                         help="virtual length of the compressed day, s")
+    fleet_p.add_argument("--window-s", type=float, default=2.0,
+                         help="autoscaler observation window, s")
+    fleet_p.add_argument("--users", type=int, default=10000,
+                         help="Zipf user population size")
+    fleet_p.add_argument("--slo-ms", type=float, default=1000.0,
+                         help="latency SLO in milliseconds")
+    fleet_p.add_argument("--max-batch", type=int, default=4,
+                         help="micro-batcher max batch size")
+    fleet_p.add_argument("--overhead-ms", type=float, default=200.0,
+                         help="per-dispatch overhead per replica, ms "
+                              "(sets replica capacity)")
+    fleet_p.add_argument("--seed", type=int, default=0,
+                         help="traffic / model / dataset seed")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -357,6 +463,8 @@ def main(argv=None) -> int:
         return serve_bench_command(args)
     if args.command == "online-bench":
         return online_bench_command(args)
+    if args.command == "fleet-bench":
+        return fleet_bench_command(args)
     return selfcheck()
 
 

@@ -1,0 +1,153 @@
+"""Fleet-level reports: day records, capacity and overload curves.
+
+Two curves summarize a serving fleet the way Fig. 11 summarizes the
+training cluster:
+
+* **capacity vs replicas** (:func:`capacity_sweep`) — goodput at N
+  replicas under proportionally scaled overload, normalized by N x the
+  single-replica goodput. Routing quality is exactly what this measures:
+  a perfect router scales linearly (efficiency 1.0), an oblivious one
+  loses goodput to imbalance-induced tail latency;
+* **goodput under overload** (:func:`overload_sweep`) — offered load
+  swept past fleet capacity at fixed N. With admission shedding the
+  goodput curve should *plateau* at capacity rather than collapse into
+  queueing — the classic load-shedding signature.
+
+:class:`FleetDayReport` is the autoscaler run record: per-window
+observations, scale events, the exactly-merged day-level
+:class:`~repro.serving.loadgen.LoadReport` and the replica-hours bill
+the static-vs-elastic comparison is decided on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..online.report import render_table
+from ..serving.loadgen import LoadReport
+
+__all__ = ["WindowRecord", "ScaleEvent", "FleetDayReport", "CapacityPoint",
+           "capacity_sweep", "overload_sweep", "render_table"]
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One control window's observation: load, tail, fleet size."""
+
+    index: int
+    start_s: float
+    num_offered: int
+    num_completed: int
+    num_shed: int
+    p99_s: float
+    shed_fraction: float
+    active_replicas: int     # serving traffic this window
+    billed_replicas: int     # provisioned (serving or warming)
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action and why it fired."""
+
+    t_s: float
+    delta: int
+    replicas_after: int
+    reason: str
+
+
+@dataclass
+class FleetDayReport:
+    """The full record of one windowed (autoscaled or static) day."""
+
+    windows: List[WindowRecord]
+    events: List[ScaleEvent]
+    merged: LoadReport
+    replica_seconds: float
+    slo_s: float
+    warmup_s: float
+
+    @property
+    def replica_hours(self) -> float:
+        return self.replica_seconds / 3600.0
+
+    @property
+    def peak_replicas(self) -> int:
+        return max(w.billed_replicas for w in self.windows)
+
+    @property
+    def trough_replicas(self) -> int:
+        return min(w.billed_replicas for w in self.windows)
+
+    @property
+    def slo_held(self) -> bool:
+        """Day-level p99 within the SLO."""
+        return self.merged.p99_s <= self.slo_s
+
+    def num_scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.delta > 0)
+
+    def num_scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.delta < 0)
+
+    ROW_HEADER = ["window", "t (s)", "offered", "shed", "p99 ms",
+                  "active", "billed"]
+
+    def rows(self) -> List[List[str]]:
+        return [[str(w.index), f"{w.start_s:.2f}", str(w.num_offered),
+                 str(w.num_shed), f"{w.p99_s * 1e3:.2f}",
+                 str(w.active_replicas), str(w.billed_replicas)]
+                for w in self.windows]
+
+    def render(self) -> str:
+        return render_table(self.ROW_HEADER, self.rows())
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of the capacity-vs-replicas curve."""
+
+    replicas: int
+    offered_qps: float
+    report: LoadReport
+    efficiency: float   # goodput / (N * single-replica goodput)
+
+    def row(self) -> List[str]:
+        return [str(self.replicas), f"{self.offered_qps:.0f}",
+                f"{self.report.goodput_qps:.0f}",
+                f"{self.report.p99_s * 1e3:.2f}",
+                f"{self.report.shed_fraction * 100:.1f}%",
+                f"{self.efficiency:.3f}"]
+
+    ROW_HEADER = ["replicas", "offered qps", "goodput qps", "p99 ms",
+                  "shed", "efficiency"]
+
+
+def capacity_sweep(serve_at: Callable[[int], LoadReport],
+                   replica_counts: Sequence[int],
+                   per_replica_qps: float) -> List[CapacityPoint]:
+    """Goodput at each replica count under proportional offered load.
+
+    ``serve_at(n)`` serves a trace offered at ``n * per_replica_qps``
+    through an ``n``-replica fleet and returns its merged report; the
+    sweep normalizes every point by N x the N=1 goodput. The N=1 point
+    is always measured (prepended if absent) since it anchors the
+    efficiency definition.
+    """
+    counts = sorted(set(replica_counts))
+    if counts[0] != 1:
+        counts = [1] + counts
+    reports = {n: serve_at(n) for n in counts}
+    base = reports[1].goodput_qps
+    return [CapacityPoint(
+        replicas=n, offered_qps=n * per_replica_qps, report=reports[n],
+        efficiency=reports[n].goodput_qps / (n * base) if base > 0 else 0.0)
+        for n in counts]
+
+
+def overload_sweep(serve_scaled: Callable[[float], LoadReport],
+                   scales: Sequence[float]) -> List[LoadReport]:
+    """Reports across offered-load multiples of fleet capacity
+    (``serve_scaled(s)`` serves at ``s`` x capacity); the goodput
+    plateau past 1.0 is the shedding-vs-collapse story."""
+    return [serve_scaled(float(s)) for s in scales]

@@ -19,10 +19,12 @@ recurrent trainer exists to keep a serving fleet fresh, and
 ``repro.perf.online`` sizes that fleet — this package is the fleet.
 """
 
-from .batcher import (BatchingPolicy, BatchPlan, InferenceRequest,
-                      MicroBatcher, ScheduledBatch)
+from .batcher import (ADMISSION_KINDS, BatchingPolicy, BatchPlan,
+                      InferenceRequest, MicroBatcher, ScheduledBatch)
 from .export import FreezeConfig, ServableModel, freeze
-from .loadgen import LoadReport, PoissonLoadGen, run_load_test
+from .loadgen import (ARRIVAL_STREAM, ROUTER_STREAM, USER_STREAM,
+                      LoadReport, PoissonLoadGen, requests_from_arrivals,
+                      run_load_test)
 from .server import (InferenceServer, RequestOutcome, ServeResult,
                      ServingPerfModel)
 
@@ -30,6 +32,7 @@ __all__ = [
     "FreezeConfig",
     "ServableModel",
     "freeze",
+    "ADMISSION_KINDS",
     "BatchingPolicy",
     "InferenceRequest",
     "ScheduledBatch",
@@ -42,4 +45,8 @@ __all__ = [
     "PoissonLoadGen",
     "LoadReport",
     "run_load_test",
+    "requests_from_arrivals",
+    "ARRIVAL_STREAM",
+    "USER_STREAM",
+    "ROUTER_STREAM",
 ]

@@ -193,14 +193,21 @@ class InferenceServer:
                  policy: Optional[BatchingPolicy] = None,
                  perf: Optional[ServingPerfModel] = None,
                  tracer=None,
-                 metrics: Optional[MetricRegistry] = None) -> None:
+                 metrics: Optional[MetricRegistry] = None,
+                 name: str = "") -> None:
         self.model = model
         self.policy = policy if policy is not None else BatchingPolicy()
         self.perf = perf if perf is not None else ServingPerfModel()
         self.batcher = MicroBatcher(self.policy)
         self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else MetricRegistry()
-        self._scope = self.metrics.scope("serving")
+        # a named server (fleet replica) scopes its metrics under the
+        # name and stamps it on every span, so a shared registry/tracer
+        # keeps per-replica series apart; unnamed servers are unchanged
+        self.name = name
+        self._scope = self.metrics.scope(f"{name}.serving" if name
+                                         else "serving")
+        self._span_attrs = {"replica": name} if name else {}
 
     # ------------------------------------------------------------------
     def _service_time(self, requests: List[InferenceRequest]) -> float:
@@ -216,7 +223,8 @@ class InferenceServer:
         model = model if model is not None else self.model
         with self.tracer.span("serving.forward", cat="serving",
                               requests=scheduled.num_requests,
-                              samples=scheduled.num_samples):
+                              samples=scheduled.num_samples,
+                              **self._span_attrs):
             merged = MiniBatch.concat(
                 [r.batch for r in scheduled.requests])
             probs = model.predict(merged)
@@ -262,7 +270,8 @@ class InferenceServer:
                                   requests=scheduled.num_requests,
                                   trigger=scheduled.trigger,
                                   dispatch_s=scheduled.dispatch_s,
-                                  model_version=version):
+                                  model_version=version,
+                                  **self._span_attrs):
                 responses = self._execute(scheduled, model=snapshot_model)
             result.responses.update(responses)
             batches_ctr.inc(1)

@@ -1,0 +1,245 @@
+"""Autoscaler tests: the decision rule, the windowed day loop, billing.
+
+The decision rule is pure bookkeeping, so it gets exact unit tests
+(hysteresis band, cooldown, clamps). The day loop is tested on a
+deliberately slow tiny fleet (~20 qps per replica) so a handful of
+requests genuinely overloads it: scale-ups must fire under overload,
+scale-downs on idle, warm-up must delay activation but not billing, and
+the replica-seconds bill must equal the per-window sum exactly. The
+capstone is the economic claim the bench gates at scale: on a diurnal
+day, elasticity costs fewer replica-hours than peak provisioning.
+"""
+
+import pytest
+
+from repro.fleet import (Autoscaler, AutoscalerConfig, DayCurve,
+                         FleetTraffic, RouterPolicy, ServingFleet,
+                         replica_warmup_s, run_autoscaled_day,
+                         run_static_day, smallest_static_fleet)
+from repro.serving import BatchingPolicy, FreezeConfig, ServingPerfModel
+
+from .helpers import tiny_system
+
+
+def slow_fleet(num_replicas=4, overhead_s=0.2, max_batch=4):
+    """A fleet whose replicas saturate near ``max_batch/overhead_s`` qps
+    (~20 by default) so tiny traces can overload it."""
+    sys = tiny_system()
+    perfs = [ServingPerfModel(overhead_s=overhead_s)
+             for _ in range(num_replicas)]
+    fleet = ServingFleet(
+        sys.servable,
+        policy=BatchingPolicy(max_batch_size=max_batch, max_wait_s=0.05),
+        perfs=perfs, router=RouterPolicy(kind="round_robin"))
+    return sys, fleet
+
+
+def flat_trace(dataset, qps, duration_s, seed=0):
+    return FleetTraffic(mean_qps=qps, duration_s=duration_s,
+                        seed=seed).requests(dataset)
+
+
+class TestWarmupPricing:
+    def test_warmup_is_overhead_plus_artifact_transfer(self):
+        sys = tiny_system()
+        w = replica_warmup_s(sys.servable, overhead_s=0.05)
+        assert w > 0.05
+        assert w == pytest.approx(
+            0.05 + sys.servable.storage_bytes()
+            / ServingPerfModel().platform.dram_link_bw_per_node)
+
+    def test_smaller_artifact_warms_up_faster(self):
+        fp32 = tiny_system(freeze_config=FreezeConfig(precision="fp32"))
+        int8 = tiny_system(freeze_config=FreezeConfig(precision="int8"))
+        assert replica_warmup_s(int8.servable) \
+            < replica_warmup_s(fp32.servable)
+
+    def test_validation(self):
+        sys = tiny_system()
+        with pytest.raises(ValueError):
+            replica_warmup_s(sys.servable, overhead_s=-1.0)
+
+
+class TestAutoscalerConfig:
+    def test_validation(self):
+        ok = dict(slo_s=0.5, window_s=2.0)
+        AutoscalerConfig(**ok)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(slo_s=0.0, window_s=2.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(slo_s=0.5, window_s=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, up_p99_frac=0.4, down_p99_frac=0.5)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, cooldown_s=-1.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, up_shed_frac=-0.1)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(**ok, max_replicas=4, initial_replicas=5)
+
+
+class TestDecisionRule:
+    CFG = AutoscalerConfig(slo_s=1.0, window_s=2.0, min_replicas=1,
+                           max_replicas=4)
+
+    def test_scales_up_past_the_hysteresis_ceiling(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.decide(2.0, 2, p99_s=0.95, shed_fraction=0.0) == 1
+
+    def test_scales_up_on_shedding_even_with_low_p99(self):
+        # admission control hides overload from completed-request p99
+        scaler = Autoscaler(self.CFG)
+        assert scaler.decide(2.0, 2, p99_s=0.1, shed_fraction=0.2) == 1
+
+    def test_scales_down_below_the_floor(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.decide(2.0, 2, p99_s=0.1, shed_fraction=0.0) == -1
+
+    def test_holds_inside_the_hysteresis_band(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.decide(2.0, 2, p99_s=0.6, shed_fraction=0.0) == 0
+
+    def test_never_scales_down_while_shedding(self):
+        # tolerate 5% shed before scaling up — but even tolerated
+        # shedding must veto the scale-down path
+        cfg = AutoscalerConfig(slo_s=1.0, window_s=2.0, max_replicas=4,
+                               up_shed_frac=0.05)
+        scaler = Autoscaler(cfg)
+        assert scaler.decide(2.0, 2, p99_s=0.1, shed_fraction=0.01) == 0
+
+    def test_clamped_at_the_fleet_bounds(self):
+        scaler = Autoscaler(self.CFG)
+        assert scaler.decide(2.0, 4, p99_s=2.0, shed_fraction=0.5) == 0
+        assert scaler.decide(4.0, 1, p99_s=0.0, shed_fraction=0.0) == 0
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        cfg = AutoscalerConfig(slo_s=1.0, window_s=2.0, max_replicas=4,
+                               cooldown_s=5.0)
+        scaler = Autoscaler(cfg)
+        assert scaler.decide(2.0, 1, p99_s=2.0, shed_fraction=0.0) == 1
+        assert scaler.decide(4.0, 2, p99_s=2.0, shed_fraction=0.0) == 0
+        assert scaler.decide(6.0, 2, p99_s=2.0, shed_fraction=0.0) == 0
+        assert scaler.decide(7.0, 2, p99_s=2.0, shed_fraction=0.0) == 1
+
+
+class TestWindowedDay:
+    def test_overload_provisions_up(self):
+        sys, fleet = slow_fleet()
+        # ~45 qps against 20-qps replicas: one replica drowns
+        requests = flat_trace(sys.dataset, qps=45.0, duration_s=10.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, min_replicas=1,
+                               max_replicas=3, warmup_s=0.0)
+        report = run_autoscaled_day(fleet, requests, cfg)
+        assert report.num_scale_ups() >= 1
+        assert report.peak_replicas > 1
+        assert all(e.delta == 1 for e in report.events)
+        # scaling helped: the last served window beats the first
+        assert report.windows[-1].p99_s < report.windows[0].p99_s
+
+    def test_idle_provisions_down_to_the_floor(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=5.0, duration_s=10.0)
+        # slo generous enough that the ~0.25 s service floor sits below
+        # the scale-down threshold (down_p99_frac * slo)
+        cfg = AutoscalerConfig(slo_s=1.2, window_s=2.0, min_replicas=1,
+                               max_replicas=3, initial_replicas=3,
+                               warmup_s=0.0)
+        report = run_autoscaled_day(fleet, requests, cfg)
+        assert report.num_scale_downs() >= 2
+        assert report.windows[-1].billed_replicas == 1
+        assert report.trough_replicas == 1
+
+    def test_billing_is_the_exact_window_sum(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=45.0, duration_s=10.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=3,
+                               warmup_s=0.0)
+        report = run_autoscaled_day(fleet, requests, cfg)
+        assert report.replica_seconds == pytest.approx(
+            sum(w.billed_replicas * 2.0 for w in report.windows))
+        assert report.replica_hours == report.replica_seconds / 3600.0
+
+    def test_warmup_bills_before_activation(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=45.0, duration_s=12.0)
+        # warm-up longer than one window: the new replica is billed
+        # from the event boundary but activates only at the first
+        # boundary past event + warmup (two windows later here)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=2,
+                               warmup_s=3.0)
+        report = run_autoscaled_day(fleet, requests, cfg)
+        assert report.num_scale_ups() == 1
+        event = report.events[0]
+        after = [w for w in report.windows if w.start_s >= event.t_s]
+        assert after[0].billed_replicas == 2
+        assert after[0].active_replicas == 1
+        assert after[1].active_replicas == 1
+        assert after[2].active_replicas == 2
+
+    def test_day_is_deterministic(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=45.0, duration_s=10.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=3,
+                               warmup_s=0.0)
+        a = run_autoscaled_day(fleet, requests, cfg)
+        b = run_autoscaled_day(fleet, requests, cfg)
+        assert a.merged == b.merged
+        assert a.windows == b.windows
+        assert a.events == b.events
+
+    def test_rejects_config_larger_than_the_fleet(self):
+        sys, fleet = slow_fleet(num_replicas=2)
+        requests = flat_trace(sys.dataset, qps=5.0, duration_s=2.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=3)
+        with pytest.raises(ValueError):
+            run_autoscaled_day(fleet, requests, cfg)
+        with pytest.raises(ValueError):
+            run_autoscaled_day(fleet, [], AutoscalerConfig(
+                slo_s=0.5, window_s=2.0, max_replicas=2))
+
+
+class TestStaticBaseline:
+    def test_static_day_never_scales(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=30.0, duration_s=10.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=3)
+        report = run_static_day(fleet, requests, cfg, num_replicas=2)
+        assert report.events == []
+        assert report.peak_replicas == report.trough_replicas == 2
+
+    def test_smallest_static_fleet_is_minimal(self):
+        sys, fleet = slow_fleet()
+        requests = flat_trace(sys.dataset, qps=30.0, duration_s=10.0)
+        cfg = AutoscalerConfig(slo_s=0.5, window_s=2.0, max_replicas=4)
+        best = smallest_static_fleet(fleet, requests, cfg)
+        n = best.peak_replicas
+        assert best.slo_held
+        if n > 1:
+            smaller = run_static_day(fleet, requests, cfg, num_replicas=n - 1)
+            assert smaller.merged.p99_s > cfg.slo_s \
+                or smaller.merged.slo_attainment < 0.99
+
+    def test_elastic_beats_peak_provisioning_on_a_diurnal_day(self):
+        # the bench-gated claim in miniature: same SLO held, fewer
+        # replica-seconds than the cheapest static fleet that holds it
+        sys, fleet = slow_fleet()
+        # a sharp evening peak (~2.8x mean) so peak provisioning is
+        # genuinely expensive relative to the overnight trough
+        curve = DayCurve(hourly=(0.2, 0.2, 0.2, 0.3, 0.5, 1.0,
+                                 2.0, 3.0, 2.6, 1.6, 0.8, 0.4), day_s=40.0)
+        requests = FleetTraffic(mean_qps=25.0, duration_s=40.0,
+                                curve=curve, seed=1).requests(sys.dataset)
+        cfg = AutoscalerConfig(slo_s=1.0, window_s=1.0, min_replicas=1,
+                               max_replicas=4, warmup_s=0.0,
+                               up_p99_frac=0.4, down_p99_frac=0.3,
+                               cooldown_s=2.0)
+        elastic = run_autoscaled_day(fleet, requests, cfg)
+        static = smallest_static_fleet(fleet, requests, cfg)
+        assert elastic.num_scale_ups() >= 1
+        assert elastic.num_scale_downs() >= 1
+        assert elastic.replica_seconds < static.replica_seconds
+        assert elastic.slo_held

@@ -1,0 +1,215 @@
+"""Report-merge golden tests and the fleet summary structures.
+
+:meth:`LoadReport.merge` is the statistical backbone of every fleet
+number, so it is tested against a *hand-computed* two-replica fixture:
+pooled percentiles, completion-weighted batch width, cross-replica
+makespan and attainment are all written out longhand and compared
+field by field. The sweep helpers are tested with stub serve functions
+so their normalization (efficiency anchored at N=1) is checked in
+isolation from any actual serving.
+"""
+
+import pytest
+
+from repro.fleet import (CapacityPoint, FleetDayReport, ScaleEvent,
+                         WindowRecord, capacity_sweep, overload_sweep)
+from repro.serving import LoadReport
+
+
+def make_report(samples, num_offered, num_shed=0, slo_s=0.03,
+                offered_qps=10.0, first_arrival_s=0.0,
+                last_completion_s=1.0, mean_batch_samples=1.0,
+                goodput_qps=0.0):
+    """A self-consistent LoadReport over explicit latency samples."""
+    lat = sorted(samples)
+    n = len(lat)
+
+    def pct(q):
+        if not lat:
+            return 0.0
+        rank = (n - 1) * q / 100.0
+        lo = int(rank)
+        frac = rank - lo
+        hi = min(lo + 1, n - 1)
+        return lat[lo] + frac * (lat[hi] - lat[lo])
+
+    makespan = last_completion_s - first_arrival_s if n else 0.0
+    within = sum(1 for v in lat if v <= slo_s)
+    return LoadReport(
+        offered_qps=offered_qps, num_offered=num_offered,
+        num_completed=n, num_shed=num_shed, slo_s=slo_s,
+        p50_s=pct(50), p95_s=pct(95), p99_s=pct(99),
+        mean_s=sum(lat) / n if n else 0.0, max_s=max(lat) if n else 0.0,
+        goodput_qps=goodput_qps or (within / makespan if makespan else 0.0),
+        completed_qps=n / makespan if makespan else 0.0,
+        slo_attainment=within / num_offered if num_offered else 0.0,
+        makespan_s=makespan, mean_batch_samples=mean_batch_samples,
+        first_arrival_s=first_arrival_s, last_completion_s=last_completion_s,
+        samples_s=tuple(samples))
+
+
+class TestMergeGolden:
+    """Two replicas, every merged field computed by hand."""
+
+    def fixture(self):
+        a = make_report((0.010, 0.020, 0.030), num_offered=4, num_shed=1,
+                        offered_qps=40.0, first_arrival_s=0.0,
+                        last_completion_s=0.05, mean_batch_samples=1.5)
+        b = make_report((0.040,), num_offered=1, offered_qps=10.0,
+                        first_arrival_s=0.10, last_completion_s=0.20,
+                        mean_batch_samples=2.0)
+        return a, b
+
+    def test_hand_computed_fields(self):
+        merged = LoadReport.merge(self.fixture())
+        # pooled samples (0.01, 0.02, 0.03, 0.04), linear interpolation:
+        #   p50 at rank 1.5 -> 0.025; p95 at 2.85 -> 0.0385;
+        #   p99 at 2.97 -> 0.0397
+        assert merged.samples_s == (0.010, 0.020, 0.030, 0.040)
+        assert merged.p50_s == pytest.approx(0.025, rel=1e-12)
+        assert merged.p95_s == pytest.approx(0.0385, rel=1e-12)
+        assert merged.p99_s == pytest.approx(0.0397, rel=1e-12)
+        assert merged.mean_s == pytest.approx(0.025, rel=1e-12)
+        assert merged.max_s == 0.040
+        # counts and rates sum
+        assert merged.num_offered == 5
+        assert merged.num_completed == 4
+        assert merged.num_shed == 1
+        assert merged.shed_fraction == pytest.approx(0.2)
+        assert merged.offered_qps == pytest.approx(50.0)
+        # makespan spans earliest arrival (0.0) to latest completion
+        # (0.20) across replicas
+        assert merged.makespan_s == pytest.approx(0.20, rel=1e-12)
+        assert merged.first_arrival_s == 0.0
+        assert merged.last_completion_s == 0.20
+        # 3 of 4 completions inside the 0.03 SLO, 3 of 5 offered
+        assert merged.goodput_qps == pytest.approx(3 / 0.20, rel=1e-12)
+        assert merged.completed_qps == pytest.approx(4 / 0.20, rel=1e-12)
+        assert merged.slo_attainment == pytest.approx(0.6, rel=1e-12)
+        # completion-weighted batch width: (1.5*3 + 2.0*1) / 4
+        assert merged.mean_batch_samples == pytest.approx(1.625, rel=1e-12)
+        assert merged.slo_s == 0.03
+
+    def test_merge_order_invariant_statistics(self):
+        a, b = self.fixture()
+        ab, ba = LoadReport.merge([a, b]), LoadReport.merge([b, a])
+        assert ab.p99_s == ba.p99_s
+        assert ab.goodput_qps == ba.goodput_qps
+        assert ab.makespan_s == ba.makespan_s
+        assert sorted(ab.samples_s) == sorted(ba.samples_s)
+
+    def test_single_report_merges_verbatim(self):
+        a, _ = self.fixture()
+        assert LoadReport.merge([a]) == a
+
+    def test_empty_contributor_changes_nothing_but_offered(self):
+        a, _ = self.fixture()
+        empty = make_report((), num_offered=2, num_shed=2,
+                            offered_qps=5.0, last_completion_s=0.0)
+        merged = LoadReport.merge([a, empty])
+        # statistics come from the sole active contributor, verbatim
+        assert merged.p99_s == a.p99_s
+        assert merged.makespan_s == a.makespan_s
+        assert merged.mean_batch_samples == a.mean_batch_samples
+        assert merged.num_offered == 6
+        assert merged.num_shed == 3
+
+
+class TestMergeValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoadReport.merge([])
+
+    def test_rejects_mixed_slos(self):
+        a = make_report((0.01,), num_offered=1, slo_s=0.03)
+        b = make_report((0.01,), num_offered=1, slo_s=0.05)
+        with pytest.raises(ValueError):
+            LoadReport.merge([a, b])
+
+    def test_rejects_sample_free_reports(self):
+        a = make_report((0.01,), num_offered=1)
+        with pytest.raises(ValueError):
+            LoadReport.merge([a, a.without_samples()])
+
+    def test_rejects_inconsistent_sample_counts(self):
+        from dataclasses import replace
+        a = make_report((0.01, 0.02), num_offered=2)
+        with pytest.raises(ValueError):
+            LoadReport.merge([replace(a, num_completed=3)])
+
+    def test_without_samples_drops_only_samples(self):
+        a = make_report((0.01, 0.02), num_offered=2)
+        bare = a.without_samples()
+        assert bare.samples_s is None
+        assert bare.p99_s == a.p99_s
+        assert bare.num_completed == a.num_completed
+
+
+def day_report():
+    windows = [
+        WindowRecord(index=0, start_s=0.0, num_offered=10, num_completed=10,
+                     num_shed=0, p99_s=0.01, shed_fraction=0.0,
+                     active_replicas=1, billed_replicas=1),
+        WindowRecord(index=1, start_s=2.0, num_offered=40, num_completed=35,
+                     num_shed=5, p99_s=0.09, shed_fraction=0.125,
+                     active_replicas=1, billed_replicas=2),
+        WindowRecord(index=2, start_s=4.0, num_offered=40, num_completed=40,
+                     num_shed=0, p99_s=0.04, shed_fraction=0.0,
+                     active_replicas=2, billed_replicas=2),
+    ]
+    events = [ScaleEvent(t_s=2.0, delta=1, replicas_after=2, reason="p99"),
+              ScaleEvent(t_s=6.0, delta=-1, replicas_after=1, reason="idle")]
+    merged = make_report((0.01, 0.04), num_offered=90, slo_s=0.05)
+    return FleetDayReport(windows=windows, events=events, merged=merged,
+                          replica_seconds=10.0, slo_s=0.05, warmup_s=0.5)
+
+
+class TestFleetDayReport:
+    def test_aggregates(self):
+        report = day_report()
+        assert report.replica_hours == pytest.approx(10.0 / 3600.0)
+        assert report.peak_replicas == 2
+        assert report.trough_replicas == 1
+        assert report.num_scale_ups() == 1
+        assert report.num_scale_downs() == 1
+        assert report.slo_held  # merged p99 0.04 <= slo 0.05
+
+    def test_render_tabulates_every_window(self):
+        report = day_report()
+        text = report.render()
+        assert "billed" in text and "p99 ms" in text
+        assert len(report.rows()) == 3
+        assert len(report.rows()[0]) == len(FleetDayReport.ROW_HEADER)
+
+
+class TestSweeps:
+    def test_capacity_sweep_normalizes_against_n1(self):
+        calls = []
+
+        def serve_at(n):
+            calls.append(n)
+            # goodput: 100 at N=1, then sublinear growth
+            return make_report(tuple(0.01 for _ in range(n)),
+                               num_offered=n, goodput_qps=100.0 * n * 0.9
+                               if n > 1 else 100.0)
+
+        points = capacity_sweep(serve_at, replica_counts=[4, 2],
+                                per_replica_qps=50.0)
+        assert calls == [1, 2, 4]  # N=1 anchor prepended, counts sorted
+        assert [p.replicas for p in points] == [1, 2, 4]
+        assert points[0].efficiency == pytest.approx(1.0)
+        assert points[1].efficiency == pytest.approx(0.9)
+        assert points[2].efficiency == pytest.approx(0.9)
+        assert points[2].offered_qps == pytest.approx(200.0)
+        assert len(points[0].row()) == len(CapacityPoint.ROW_HEADER)
+
+    def test_overload_sweep_passes_scales_through_in_order(self):
+        seen = []
+
+        def serve_scaled(s):
+            seen.append(s)
+            return make_report((0.01,), num_offered=1)
+
+        reports = overload_sweep(serve_scaled, scales=[0.5, 1.0, 2.0])
+        assert seen == [0.5, 1.0, 2.0]
+        assert len(reports) == 3

@@ -195,3 +195,94 @@ def test_fuzz_determinism(arrivals, policy, service_s):
     assert [x.dispatch_s for x in a.batches] == \
         [x.dispatch_s for x in b.batches]
     assert [r.request_id for r in a.shed] == [r.request_id for r in b.shed]
+
+
+class TestPredictedAdmission:
+    """admission="predicted": shed exactly what would miss its deadline."""
+
+    def policy(self, deadline_s=0.1, **kw):
+        # max_wait > 0 so simultaneous arrivals coalesce into full-width
+        # batches (at zero wait the dispatch/arrival tie-break serves
+        # the first arrival alone)
+        kw.setdefault("max_batch_size", 4)
+        kw.setdefault("max_wait_s", 5e-3)
+        return BatchingPolicy(admission="predicted", deadline_s=deadline_s,
+                              **kw)
+
+    def test_validation_requires_a_deadline(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(admission="predicted")
+        with pytest.raises(ValueError):
+            BatchingPolicy(admission="predicted", deadline_s=0.0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(admission="banana")
+
+    def test_default_depth_policy_is_unchanged_bitwise(self):
+        # the flag defaults off: plans under the depth policy must be
+        # identical to a policy that never mentions admission at all
+        requests = [req(i, i * 1e-3) for i in range(40)]
+        old = MicroBatcher(BatchingPolicy(max_batch_size=4,
+                                          max_queue_depth=8))
+        new = MicroBatcher(BatchingPolicy(max_batch_size=4,
+                                          max_queue_depth=8,
+                                          admission="depth"))
+        a = old.plan(requests, const_service(5e-3))
+        b = new.plan(requests, const_service(5e-3))
+        assert [x.dispatch_s for x in a.batches] == \
+            [x.dispatch_s for x in b.batches]
+        assert [r.request_id for r in a.shed] == \
+            [r.request_id for r in b.shed]
+
+    def test_admits_everything_when_capacity_suffices(self):
+        batcher = MicroBatcher(self.policy(deadline_s=1.0))
+        plan = batcher.plan([req(i, i * 0.1) for i in range(10)],
+                            const_service(1e-3))
+        assert plan.num_shed == 0
+        assert plan.num_completed == 10
+
+    def test_sheds_the_request_that_would_miss(self):
+        # service 0.05 s per batch, all arrive at once, deadline 0.12:
+        # batch k completes at (k+1)*0.05; requests 1-8 land in the first
+        # two batches (<= 0.10), 9-12's predicted 0.15 misses
+        batcher = MicroBatcher(self.policy(deadline_s=0.12))
+        plan = batcher.plan([req(i, 0.0) for i in range(12)],
+                            const_service(0.05))
+        assert plan.num_completed == 8
+        assert sorted(r.request_id for r in plan.shed) == list(range(8, 12))
+
+    def test_impossible_deadline_sheds_everything(self):
+        # even an empty-queue arrival completes one service time after
+        # it arrives; a deadline below that is predicted infeasible for
+        # every request, so admission sheds the whole trace
+        batcher = MicroBatcher(self.policy(deadline_s=0.04))
+        plan = batcher.plan([req(i, i * 1e-3) for i in range(20)],
+                            const_service(0.05))
+        assert plan.num_completed == 0
+        assert plan.num_shed == 20
+
+    def test_depth_cap_still_applies_on_top(self):
+        # queue depth is a second, independent shed reason
+        batcher = MicroBatcher(self.policy(deadline_s=10.0,
+                                           max_queue_depth=2))
+        plan = batcher.plan([req(i, 0.0) for i in range(8)],
+                            const_service(0.5))
+        assert plan.num_shed > 0
+
+    def test_goodput_plateaus_instead_of_collapsing(self):
+        # 3x overload: predicted admission trades completions for
+        # within-deadline completions; depth admission completes more
+        # requests but blows the deadline on most of them
+        requests = [req(i, i * 2e-3) for i in range(200)]
+        deadline = 0.05
+        depth = MicroBatcher(BatchingPolicy(max_batch_size=4,
+                                            max_wait_s=0.0)) \
+            .plan(requests, const_service(0.024))
+        pred = MicroBatcher(self.policy(deadline_s=deadline)) \
+            .plan(requests, const_service(0.024))
+
+        def within(plan):
+            return sum(1 for b in plan.batches for r in b.requests
+                       if b.completion_s - r.arrival_s <= deadline)
+
+        assert within(pred) > 2 * within(depth)
+        assert pred.num_shed > 0

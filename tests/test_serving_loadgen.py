@@ -145,3 +145,70 @@ class TestLoadReport:
         with pytest.raises(ValueError):
             run_load_test(server, sys.dataset, qps=100, num_requests=10,
                           slo_s=0.0)
+
+
+class TestStreamsAndSamples:
+    """Fleet-facing extensions: named rng sub-streams and raw samples."""
+
+    def test_default_stream_preserves_the_historical_trace(self):
+        from repro.serving.loadgen import ARRIVAL_STREAM
+        a = PoissonLoadGen(qps=1000, num_requests=50, seed=7)
+        b = PoissonLoadGen(qps=1000, num_requests=50, seed=7,
+                           stream=ARRIVAL_STREAM)
+        np.testing.assert_array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_streams_decorrelate_under_one_seed(self):
+        from repro.serving.loadgen import (ARRIVAL_STREAM, ROUTER_STREAM,
+                                           USER_STREAM)
+        assert len({ARRIVAL_STREAM, USER_STREAM, ROUTER_STREAM}) == 3
+        a = PoissonLoadGen(qps=1000, num_requests=50, seed=7,
+                           stream=ARRIVAL_STREAM)
+        b = PoissonLoadGen(qps=1000, num_requests=50, seed=7,
+                           stream=USER_STREAM)
+        assert not np.array_equal(a.arrival_times(), b.arrival_times())
+
+    def test_keep_samples_carries_the_latencies(self):
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        out = []
+        report = run_load_test(server, sys.dataset, qps=500,
+                               num_requests=60, slo_s=5e-3, seed=1,
+                               result_out=out, keep_samples=True)
+        np.testing.assert_array_equal(np.array(report.samples_s),
+                                      out[0].latencies_s())
+        assert report.without_samples() == run_load_test(
+            InferenceServer(sys.servable), sys.dataset, qps=500,
+            num_requests=60, slo_s=5e-3, seed=1)
+
+    def test_report_bounds_match_the_outcomes(self):
+        sys = tiny_system()
+        server = InferenceServer(sys.servable)
+        out = []
+        report = run_load_test(server, sys.dataset, qps=500,
+                               num_requests=40, slo_s=5e-3, seed=0,
+                               result_out=out)
+        result = out[0]
+        assert report.first_arrival_s == min(o.arrival_s
+                                             for o in result.outcomes)
+        assert report.last_completion_s == max(o.completion_s
+                                               for o in result.outcomes)
+        assert report.makespan_s == pytest.approx(
+            report.last_completion_s - report.first_arrival_s)
+
+    def test_requests_from_arrivals_user_rows(self):
+        from repro.serving.loadgen import requests_from_arrivals
+        ds = tiny_system().dataset
+        arrivals = np.array([0.0, 0.1, 0.2, 0.3])
+        rows = np.array([1, 0, 1, 1])
+        requests = requests_from_arrivals(ds, arrivals, batch_index=0,
+                                          user_rows=rows)
+        assert [r.user_id for r in requests] == [1, 0, 1, 1]
+        # shared rows mean byte-identical recurring samples
+        np.testing.assert_array_equal(requests[0].batch.dense,
+                                      requests[2].batch.dense)
+        bulk = ds.batch(2, batch_index=0)
+        np.testing.assert_array_equal(requests[1].batch.dense,
+                                      bulk.dense[0:1])
+        with pytest.raises(ValueError):
+            requests_from_arrivals(ds, arrivals, batch_index=0,
+                                   user_rows=np.array([0, 1]))
