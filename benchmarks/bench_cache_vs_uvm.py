@@ -43,9 +43,9 @@ def comparison():
     permutation = np.random.default_rng(42).permutation(ROWS)
     for name, factory in (
             ("sw-cache-lru", lambda: SetAssociativeCache(
-                CAPACITY // 32, DIM, ways=32, policy="lru")),
+                capacity_rows=CAPACITY, row_dim=DIM, ways=32, policy="lru")),
             ("sw-cache-lfu", lambda: SetAssociativeCache(
-                CAPACITY // 32, DIM, ways=32, policy="lfu")),
+                capacity_rows=CAPACITY, row_dim=DIM, ways=32, policy="lfu")),
             ("uvm", lambda: UVMPageCache(CAPACITY, DIM, rows_per_page=512))):
         backing = ArrayBackingStore(weights.copy())
         stats, pcie_bytes = run_trace(factory(), backing,

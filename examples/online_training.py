@@ -30,7 +30,7 @@ POOL = 4
 
 def main():
     cfg = EmbeddingTableConfig("clicks", ROWS, DIM, avg_pooling=POOL)
-    cache = SetAssociativeCache(num_sets=CACHE_ROWS // 32, row_dim=DIM,
+    cache = SetAssociativeCache(capacity_rows=CACHE_ROWS, row_dim=DIM,
                                 ways=32, policy="lfu")
     cached = CachedEmbeddingTable(cfg, cache, rng=np.random.default_rng(0))
     reference = EmbeddingTable(cfg, weight=cached.backing.rows.copy())

@@ -24,6 +24,11 @@
   multi-replica fleet under the SLO-driven autoscaler and prints the
   per-window scaling timeline plus the replica-hours saved against the
   cheapest static fleet that holds the same SLO.
+* ``python -m repro cache-bench`` — replays hashed Zipf embedding
+  traces through every ``RowCache`` kind at identical fast-tier
+  capacity (set-associative, UVM pages, frequency-aware chunks, and
+  frequency-aware with pipelined prefetch) and prints hit rate, slow
+  tier traffic, and modeled effective bandwidth per Zipf alpha.
 """
 
 from __future__ import annotations
@@ -350,6 +355,106 @@ def fleet_bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def cache_bench_command(args: argparse.Namespace) -> int:
+    """Sweep every RowCache kind over hashed Zipf traces and print the
+    hit-rate / effective-bandwidth comparison."""
+    import time
+
+    from repro.cache import ArrayBackingStore, PrefetchPipeline, make_cache
+    from repro.data import zipf_indices
+    from repro.obs import Tracer
+
+    if args.rows < 1 or args.capacity < 1 or args.dim < 1:
+        print("error: --rows, --capacity and --dim must be positive",
+              file=sys.stderr)
+        return 2
+    if args.steps < 1 or args.warm_steps < 1 or args.ids_per_step < 1:
+        print("error: --steps, --warm-steps and --ids-per-step must be "
+              "positive", file=sys.stderr)
+        return 2
+    try:
+        alphas = [float(a) for a in args.alphas.split(",")]
+    except ValueError:
+        print(f"error: bad --alphas {args.alphas!r}", file=sys.stderr)
+        return 2
+
+    pcie_bw, hbm_bw = 12e9, 850e9  # Table 2 tier bandwidths
+    row_bytes = args.dim * 4
+    weights = np.random.default_rng(1).normal(
+        size=(args.rows, args.dim)).astype(np.float32)
+    permutation = np.random.default_rng(42).permutation(args.rows)
+
+    def variant(kind):
+        if kind == "uvm":
+            return make_cache("uvm", row_dim=args.dim,
+                              capacity_rows=args.capacity,
+                              rows_per_page=args.rows_per_page)
+        if kind == "set_associative":
+            return make_cache("set_associative", row_dim=args.dim,
+                              capacity_rows=args.capacity, ways=32)
+        return make_cache("freq_aware", row_dim=args.dim,
+                          capacity_rows=args.capacity,
+                          chunk_rows=args.chunk_rows)
+
+    print(f"cache-bench: {args.rows:,} rows, dim {args.dim}, fast tier "
+          f"{args.capacity:,} rows, {args.warm_steps} warm + {args.steps} "
+          f"measured steps of {args.ids_per_step} ids\n")
+    header = ["alpha", "variant", "hit rate", "slow-tier traffic",
+              "eff. BW", "hidden prefetch"]
+    rows = []
+    for alpha in alphas:
+        rng = np.random.default_rng(args.seed)
+        warm = [permutation[zipf_indices(args.rows, args.ids_per_step,
+                                         rng, alpha=alpha)]
+                for _ in range(args.warm_steps)]
+        measure = [permutation[zipf_indices(args.rows, args.ids_per_step,
+                                            rng, alpha=alpha)]
+                   for _ in range(args.steps)]
+        for kind in ("set_associative", "uvm", "freq_aware",
+                     "freq+prefetch"):
+            backing = ArrayBackingStore(weights)
+            cache = variant(kind)
+            if kind.startswith("freq"):
+                cache.warm(np.bincount(np.concatenate(warm),
+                                       minlength=args.rows), backing)
+            else:
+                for ids in warm:
+                    cache.read(ids, backing)
+            cache.reset_stats()
+            backing.reset_counters()
+            pipe = PrefetchPipeline(cache, backing, tracer=Tracer()) \
+                if kind == "freq+prefetch" else None
+            for k, ids in enumerate(measure):
+                t0 = time.perf_counter()
+                out = cache.read(ids, backing)
+                if not np.array_equal(out, weights[ids]):
+                    print(f"error: {kind} read diverged from backing "
+                          f"store at alpha {alpha}", file=sys.stderr)
+                    return 1
+                if pipe is not None and k + 1 < len(measure):
+                    pipe.stage(measure[k + 1],
+                               compute_s=time.perf_counter() - t0)
+            stats = cache.stats
+            overlap = pipe.overlap_report() if pipe is not None else None
+            staged = overlap["bytes_staged"] if overlap else 0
+            exposed = (1.0 - overlap["hidden_frac"]) if overlap else 0.0
+            demand = backing.bytes_read - staged
+            requested = args.steps * args.ids_per_step * row_bytes
+            slow_t = (demand + staged * exposed) / pcie_bw
+            eff_bw = requested / (stats.hits * row_bytes / hbm_bw + slow_t)
+            rows.append([f"{alpha:.2f}", kind, f"{stats.hit_rate:.1%}",
+                         f"{demand / 1e6:.1f} MB",
+                         f"{eff_bw / 1e9:.1f} GB/s",
+                         f"{overlap['hidden_frac']:.0%}" if overlap
+                         else "-"])
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.models import MODEL_NAMES
 
@@ -455,6 +560,29 @@ def main(argv=None) -> int:
                               "(sets replica capacity)")
     fleet_p.add_argument("--seed", type=int, default=0,
                          help="traffic / model / dataset seed")
+    cache_p = sub.add_parser(
+        "cache-bench",
+        help="sweep every RowCache kind over hashed Zipf traces")
+    cache_p.add_argument("--rows", type=int, default=50_000,
+                         help="embedding rows in the backing store")
+    cache_p.add_argument("--dim", type=int, default=32,
+                         help="embedding dimension")
+    cache_p.add_argument("--capacity", type=int, default=2048,
+                         help="fast-tier capacity in rows (all kinds)")
+    cache_p.add_argument("--alphas", default="1.05,1.1",
+                         help="comma-separated Zipf alphas to sweep")
+    cache_p.add_argument("--steps", type=int, default=20,
+                         help="measured trace steps per alpha")
+    cache_p.add_argument("--warm-steps", type=int, default=20,
+                         help="warm stream steps before measurement")
+    cache_p.add_argument("--ids-per-step", type=int, default=1024,
+                         help="lookups per trace step")
+    cache_p.add_argument("--chunk-rows", type=int, default=64,
+                         help="freq-aware chunk size in rows")
+    cache_p.add_argument("--rows-per-page", type=int, default=512,
+                         help="UVM page size in rows")
+    cache_p.add_argument("--seed", type=int, default=0,
+                         help="trace seed")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -465,6 +593,8 @@ def main(argv=None) -> int:
         return online_bench_command(args)
     if args.command == "fleet-bench":
         return fleet_bench_command(args)
+    if args.command == "cache-bench":
+        return cache_bench_command(args)
     return selfcheck()
 
 

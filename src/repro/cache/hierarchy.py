@@ -21,6 +21,7 @@ import numpy as np
 from ..embedding.kernels import expand_bag_ids, segment_sum
 from ..embedding.table import EmbeddingTableConfig, SparseGradient
 from ..obs.tracer import as_tracer
+from .api import make_cache
 from .backing import ArrayBackingStore
 
 __all__ = ["MemoryTier", "MemoryHierarchy", "CachedEmbeddingTable",
@@ -106,22 +107,37 @@ class CachedEmbeddingTable:
     """Embedding table whose canonical rows live behind a software cache.
 
     Functionally equivalent to :class:`repro.embedding.EmbeddingTable`
-    (same forward/backward contract) but every row access is routed through
-    a :class:`SetAssociativeCache` (or any object with the same
-    read/write/flush interface) in front of an :class:`ArrayBackingStore`.
-    Used to validate cache coherence under training and to measure traffic.
+    (same forward/backward contract) but every row access is routed
+    through any :class:`repro.cache.RowCache` in front of an
+    :class:`ArrayBackingStore`. ``cache`` is either a constructed cache
+    or a kind name from :data:`repro.cache.CACHE_KINDS` (built via
+    :func:`repro.cache.make_cache` with ``cache_config`` as the extra
+    knobs — ``capacity_rows`` required there when a kind is named).
+    Used to validate cache coherence under training and to measure
+    traffic.
 
     Pass ``tracer=``/``registry=`` (or call :meth:`instrument`) to record
-    ``cache.lookup``/``cache.update`` spans and publish the cache's
-    hit/miss/eviction/writeback stats as ``cache.*`` counters after each
-    access. Instrumentation is read-only.
+    ``cache.lookup``/``cache.update``/``cache.prefetch`` spans and
+    publish the cache's stats as ``cache.*`` counters after each access.
+    Instrumentation is read-only.
     """
 
     def __init__(self, config: EmbeddingTableConfig, cache,
                  rng: Optional[np.random.Generator] = None,
                  weight: Optional[np.ndarray] = None,
-                 tracer=None, registry=None) -> None:
+                 tracer=None, registry=None,
+                 cache_config: Optional[dict] = None) -> None:
         self.config = config
+        if isinstance(cache, str):
+            cfg = dict(cache_config or {})
+            if "capacity_rows" not in cfg:
+                raise ValueError(
+                    "cache_config must supply capacity_rows when cache "
+                    "is a kind name")
+            cache = make_cache(cache, row_dim=config.embedding_dim, **cfg)
+        elif cache_config is not None:
+            raise ValueError(
+                "cache_config is only valid when cache is a kind name")
         rng = rng if rng is not None else np.random.default_rng(0)
         if weight is None:
             limit = 1.0 / np.sqrt(config.num_embeddings)
@@ -150,7 +166,8 @@ class CachedEmbeddingTable:
         stats = getattr(self.cache, "stats", None)
         if stats is None:
             return
-        for field in ("hits", "misses", "evictions", "writebacks"):
+        for field in ("hits", "misses", "evictions", "writebacks",
+                      "fills", "prefetched_rows"):
             value = int(getattr(stats, field, 0))
             prev = self._published.get(field, 0)
             if value > prev:
@@ -176,6 +193,17 @@ class CachedEmbeddingTable:
             out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
         self._saved = (indices, None, lengths)
         return out
+
+    def prefetch(self, indices: np.ndarray) -> int:
+        """Stage the rows a future batch will touch (pipelined with the
+        current batch's compute); returns rows newly made resident."""
+        indices = np.asarray(indices, dtype=np.int64)
+        with self.tracer.span("cache.prefetch", cat="cache", table=self.name,
+                              rows=int(len(indices))):
+            staged = self.cache.prefetch_rows(indices, self.backing) \
+                if len(indices) else 0
+        self._sync_stats()
+        return staged
 
     def backward(self, dy: np.ndarray) -> SparseGradient:
         if self._saved is None:

@@ -22,8 +22,8 @@ from .. import lowp
 from ..embedding.kernels import expand_bag_ids, segment_sum
 from ..embedding.optim import merge_duplicate_rows
 from ..embedding.table import EmbeddingTableConfig, SparseGradient
+from .api import make_cache
 from .backing import ArrayBackingStore
-from .set_associative import SetAssociativeCache
 
 __all__ = ["LowPrecisionBackingStore", "MixedPrecisionEmbeddingTable"]
 
@@ -87,9 +87,9 @@ class MixedPrecisionEmbeddingTable:
         self.backing = LowPrecisionBackingStore(weight, precision=precision)
         if cache_rows < ways:
             raise ValueError("cache_rows must be at least one set (ways)")
-        self.cache = SetAssociativeCache(
-            num_sets=max(1, cache_rows // ways),
-            row_dim=config.embedding_dim, ways=ways)
+        self.cache = make_cache("set_associative",
+                                row_dim=config.embedding_dim,
+                                capacity_rows=cache_rows, ways=ways)
         self._saved: Optional[tuple] = None
 
     @property

@@ -13,42 +13,35 @@ The paper replaces CUDA unified memory (UVM) with a custom software cache:
 This implementation is a faithful functional model: it stores real row
 data, returns exact values, and counts hits/misses/evictions/writebacks so
 benchmarks can convert traffic into time via the platform bandwidth model.
+
+It implements the :class:`repro.cache.RowCache` protocol; the canonical
+constructor form is ``capacity_rows=`` (or :func:`repro.cache.make_cache`
+with ``kind="set_associative"``). The pre-protocol ``num_sets=`` form
+still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from typing import Optional
 
 import numpy as np
 
+from .api import CacheStats, RowCacheBase
 from .backing import ArrayBackingStore
 
 __all__ = ["CacheStats", "SetAssociativeCache"]
 
 
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
-
-
-class SetAssociativeCache:
+class SetAssociativeCache(RowCacheBase):
     """A set-associative, write-back row cache in front of a backing store.
 
     Parameters
     ----------
-    num_sets:
-        Number of cache sets. Capacity is ``num_sets * ways`` rows.
+    capacity_rows:
+        Fast-tier capacity in rows (the :func:`repro.cache.make_cache`
+        unit). ``ways`` is clamped to the capacity and the set count is
+        ``capacity_rows // ways``.
     row_dim:
         Row width ``D``; cached data is ``float32``.
     ways:
@@ -56,14 +49,39 @@ class SetAssociativeCache:
     policy:
         ``"lru"`` (least recently used) or ``"lfu"`` (least frequently
         used), the two policies of Section 4.1.3.
+    num_sets:
+        Deprecated pre-protocol sizing (capacity was ``num_sets * ways``);
+        still honoured, but warns. Pass ``capacity_rows`` instead.
     """
 
-    def __init__(self, num_sets: int, row_dim: int, ways: int = 32,
-                 policy: str = "lru") -> None:
+    def __init__(self, num_sets: Optional[int] = None,
+                 row_dim: Optional[int] = None, ways: int = 32,
+                 policy: str = "lru", *,
+                 capacity_rows: Optional[int] = None) -> None:
+        if row_dim is None:
+            raise TypeError("row_dim is required")
+        if capacity_rows is not None:
+            if num_sets is not None:
+                raise ValueError(
+                    "pass capacity_rows= or the deprecated num_sets=, "
+                    "not both")
+            if capacity_rows <= 0:
+                raise ValueError("capacity_rows must be positive")
+            ways = max(1, min(ways, capacity_rows))
+            num_sets = max(1, capacity_rows // ways)
+        elif num_sets is not None:
+            warnings.warn(
+                "SetAssociativeCache(num_sets=...) is deprecated; pass "
+                "capacity_rows=... or build via "
+                "repro.cache.make_cache('set_associative', ...)",
+                DeprecationWarning, stacklevel=2)
+        else:
+            raise TypeError("capacity_rows is required")
         if num_sets <= 0 or ways <= 0:
             raise ValueError("num_sets and ways must be positive")
         if policy not in ("lru", "lfu"):
             raise ValueError(f"policy must be 'lru' or 'lfu', got {policy!r}")
+        super().__init__()
         self.num_sets = num_sets
         self.ways = ways
         self.policy = policy
@@ -74,7 +92,6 @@ class SetAssociativeCache:
         # LRU: last-access clock; LFU: access count
         self.meta = np.zeros((num_sets, ways), dtype=np.int64)
         self._clock = 0
-        self.stats = CacheStats()
 
     @property
     def capacity_rows(self) -> int:
@@ -115,13 +132,14 @@ class SetAssociativeCache:
         self.tags[set_idx, way] = row_id
         self.data[set_idx, way] = backing.read_rows(np.array([row_id]))[0]
         self.dirty[set_idx, way] = False
+        self.stats.fills += 1
         if self.policy == "lfu":
             self.meta[set_idx, way] = 0
         self._touch(set_idx, way)
         return way
 
     # ------------------------------------------------------------------
-    # public interface
+    # public interface (RowCache protocol)
     # ------------------------------------------------------------------
     def read(self, row_ids: np.ndarray,
              backing: ArrayBackingStore) -> np.ndarray:
@@ -168,5 +186,17 @@ class SetAssociativeCache:
     def contains(self, row_id: int) -> bool:
         return self._find_way(self._set_index(row_id), row_id) >= 0
 
-    def reset_stats(self) -> None:
-        self.stats = CacheStats()
+    def prefetch_rows(self, row_ids: np.ndarray,
+                      backing: ArrayBackingStore) -> int:
+        """Stage rows ahead of use: misses fill without counting as
+        misses (they were never demanded), so a later :meth:`read` of the
+        same ids hits. Returns rows newly made resident."""
+        staged = 0
+        for row_id in np.unique(np.asarray(row_ids, dtype=np.int64)):
+            set_idx = self._set_index(row_id)
+            if self._find_way(set_idx, row_id) >= 0:
+                continue
+            self._fill(set_idx, row_id, backing)
+            self.stats.prefetched_rows += 1
+            staged += 1
+        return staged

@@ -4,9 +4,15 @@ CUDA unified memory migrates *pages*, not rows: a miss on one row drags its
 whole page across PCIe, and eviction throws away every row on the victim
 page even if some are hot. The paper's argument for the custom software
 cache is exactly this granularity mismatch, plus UVM being capped at PCIe
-bandwidth. This class models UVM semantics with the same read/write/flush
-interface as :class:`repro.cache.SetAssociativeCache` so the two can be
-compared head-to-head on identical access traces.
+bandwidth. This class implements the :class:`repro.cache.RowCache`
+protocol so it can be compared head-to-head with the row-granular caches
+on identical access traces.
+
+Stats note: ``fills`` in the shared :class:`CacheStats` counts *pages*
+migrated on demand (the cache's native granularity); the historical
+``pages_migrated`` attribute is now a read-only alias of it, so
+``reset_stats()`` can no longer clear one counter and miss the other —
+the drift the unified protocol removed.
 """
 
 from __future__ import annotations
@@ -15,13 +21,13 @@ from typing import Dict
 
 import numpy as np
 
+from .api import RowCacheBase
 from .backing import ArrayBackingStore
-from .set_associative import CacheStats
 
 __all__ = ["UVMPageCache"]
 
 
-class UVMPageCache:
+class UVMPageCache(RowCacheBase):
     """Fully-associative LRU cache at page granularity.
 
     Parameters
@@ -39,6 +45,7 @@ class UVMPageCache:
         if rows_per_page <= 0 or capacity_rows < rows_per_page:
             raise ValueError(
                 "capacity must hold at least one page of rows")
+        super().__init__()
         self.rows_per_page = rows_per_page
         self.capacity_pages = capacity_rows // rows_per_page
         self.row_dim = row_dim
@@ -47,8 +54,15 @@ class UVMPageCache:
         self._dirty: Dict[int, bool] = {}
         self._lru: Dict[int, int] = {}
         self._clock = 0
-        self.stats = CacheStats()
-        self.pages_migrated = 0
+
+    @property
+    def capacity_rows(self) -> int:
+        return self.capacity_pages * self.rows_per_page
+
+    @property
+    def pages_migrated(self) -> int:
+        """Pages fetched from the slow tier (alias of ``stats.fills``)."""
+        return self.stats.fills
 
     def _page_of(self, row_id: int) -> int:
         return int(row_id) // self.rows_per_page
@@ -77,7 +91,7 @@ class UVMPageCache:
         data[:len(rows)] = backing.read_rows(rows)
         self._pages[page_id] = data
         self._dirty[page_id] = False
-        self.pages_migrated += 1
+        self.stats.fills += 1
 
     def _touch(self, page_id: int) -> None:
         self._clock += 1
@@ -124,6 +138,19 @@ class UVMPageCache:
     def contains(self, row_id: int) -> bool:
         return self._page_of(row_id) in self._pages
 
-    def reset_stats(self) -> None:
-        self.stats = CacheStats()
-        self.pages_migrated = 0
+    def prefetch_rows(self, row_ids: np.ndarray,
+                      backing: ArrayBackingStore) -> int:
+        """Stage the pages covering ``row_ids``; page migrations triggered
+        here count as ``prefetched_rows`` (in rows), not as misses."""
+        staged = 0
+        ids = np.asarray(row_ids, dtype=np.int64)
+        for page in np.unique(ids // self.rows_per_page):
+            page = int(page)
+            if page in self._pages:
+                continue
+            self._ensure_page(page, backing)
+            self._touch(page)
+            rows = self.rows_per_page
+            self.stats.prefetched_rows += rows
+            staged += rows
+        return staged

@@ -5,6 +5,7 @@ from .criteo import (CRITEO_NUM_DENSE, CRITEO_NUM_SPARSE,
                      CriteoLikeDataset, criteo_dlrm_config,
                      criteo_table_configs, log_transform)
 from .datagen import MiniBatch, SyntheticCTRDataset, zipf_indices
+from .freq import FrequencyStats
 from .hashing import hash_indices, shrink_batch, shrink_table_configs
 from .formats import CombinedFormat, SeparateFormat, host_transfer_time
 from .kernels import bucketize_sparse, permute_jagged, replicate_sparse
@@ -25,6 +26,7 @@ __all__ = [
     "replicate_sparse",
     "DataIngestionService",
     "IngestionStats",
+    "FrequencyStats",
     "hash_indices",
     "shrink_batch",
     "shrink_table_configs",

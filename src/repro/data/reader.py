@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 
 from .datagen import MiniBatch, SyntheticCTRDataset
 from .formats import SeparateFormat, host_transfer_time
+from .freq import FrequencyStats
 
 __all__ = ["IngestionStats", "DataIngestionService"]
 
@@ -47,10 +48,16 @@ class DataIngestionService:
     prefetch_depth:
         Queue depth. Depth 2 is the paper's double buffering; depth 1
         disables overlap (used for the no-pipelining ablation).
+    track_frequencies:
+        When true, the reader folds every produced batch's sparse ids
+        into a :class:`FrequencyStats` (exposed as
+        :attr:`frequency_stats`) — the histogram source that warms
+        :class:`repro.cache.FreqAwareCache`.
     """
 
     def __init__(self, dataset: SyntheticCTRDataset, world_size: int,
-                 global_batch_size: int, prefetch_depth: int = 2) -> None:
+                 global_batch_size: int, prefetch_depth: int = 2,
+                 track_frequencies: bool = False) -> None:
         if world_size <= 0:
             raise ValueError("world_size must be positive")
         if global_batch_size % world_size:
@@ -64,6 +71,8 @@ class DataIngestionService:
         self.global_batch_size = global_batch_size
         self.prefetch_depth = prefetch_depth
         self.stats = IngestionStats()
+        self.frequency_stats: Optional[FrequencyStats] = \
+            FrequencyStats() if track_frequencies else None
         self._queue: deque = deque()
         self._next_index = 0
 
@@ -72,6 +81,8 @@ class DataIngestionService:
         """Readers materialize one global batch, split across ranks."""
         batch = self.dataset.batch(self.global_batch_size, self._next_index)
         self._next_index += 1
+        if self.frequency_stats is not None:
+            self.frequency_stats.update(batch)
         shards = batch.split(self.world_size)
         self._account(shards)
         return shards

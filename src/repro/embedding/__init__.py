@@ -3,7 +3,7 @@ kernels, exact sparse optimizers, reduced-precision storage and
 tensor-train compression (paper Section 4.1)."""
 
 from .arena import EmbeddingArena
-from .dedup import dedup_forward, duplication_factor
+from .dedup import dedup_cache_read, dedup_forward, duplication_factor
 from .fused import FusedEmbeddingCollection
 from .kernels import (expand_bag_ids, merge_sorted_coo, rebase_jagged,
                       segment_mean, segment_sum)
@@ -40,5 +40,6 @@ __all__ = [
     "TTEmbeddingTable",
     "factorize_dims",
     "dedup_forward",
+    "dedup_cache_read",
     "duplication_factor",
 ]

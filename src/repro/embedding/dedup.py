@@ -22,7 +22,7 @@ import numpy as np
 from .kernels import segment_sum
 from .table import EmbeddingTable
 
-__all__ = ["dedup_forward", "duplication_factor"]
+__all__ = ["dedup_forward", "dedup_cache_read", "duplication_factor"]
 
 
 def dedup_forward(table: EmbeddingTable, indices: np.ndarray,
@@ -51,6 +51,26 @@ def dedup_forward(table: EmbeddingTable, indices: np.ndarray,
         out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
     table._saved = (indices, bag_ids, lengths)
     return out, unique_count
+
+
+def dedup_cache_read(cache, indices: np.ndarray,
+                     backing) -> Tuple[np.ndarray, int]:
+    """Read rows through a :class:`repro.cache.RowCache`, touching each
+    unique id once.
+
+    Returns ``(rows, unique_count)`` where ``rows`` has one row per
+    *occurrence* (the broadcast of the deduplicated read, bitwise equal
+    to ``cache.read(indices, backing)``). The cache sees one access per
+    unique id, which is what the serving path wants: a hot Zipf id
+    repeated across a concurrent dispatch pays one fast-tier read, and
+    the hit/miss stats count row residency rather than input skew.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if not len(indices):
+        return np.zeros((0, cache.row_dim), dtype=np.float32), 0
+    unique, inverse = np.unique(indices, return_inverse=True)
+    rows = cache.read(unique, backing)
+    return rows[inverse], len(unique)
 
 
 def duplication_factor(indices: np.ndarray) -> float:

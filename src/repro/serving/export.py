@@ -26,16 +26,19 @@ frozen model raises instead of silently corrupting the serving fleet.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .. import lowp, nn
-from ..cache import ArrayBackingStore, SetAssociativeCache
+from ..cache import CACHE_KINDS, ArrayBackingStore, make_cache
 from ..data.datagen import MiniBatch
+from ..data.freq import FrequencyStats
 from ..embedding import (EmbeddingTable, FusedEmbeddingCollection,
                          lengths_to_offsets)
+from ..embedding.dedup import dedup_cache_read, dedup_forward
 from ..embedding.kernels import segment_sum
 from ..models.dlrm import DLRM, DLRMConfig
 from ..nn import functional as F
@@ -52,57 +55,112 @@ class FreezeConfig:
     ``precision`` is the embedding *storage* precision (dense MLP weights
     always serve in fp32 — they are a rounding error of the footprint).
     ``hot_bytes`` is the HBM budget for arena-resident tables; ``None``
-    serves everything from the arena. Cold tables are served through a
-    set-associative cache covering ``cache_rows_fraction`` of their rows.
+    serves everything from the arena. Cold tables are served through any
+    :class:`repro.cache.RowCache`: ``cache_kind`` names the organization
+    (built via :func:`repro.cache.make_cache`), ``cache_fraction`` sizes
+    its capacity as a fraction of each table's rows, and ``cache_config``
+    carries kind-specific knobs (``ways=``, ``chunk_rows=``, ...).
+    ``dedup`` routes serve-path lookups through
+    :mod:`repro.embedding.dedup` so each unique id in a dispatch pays one
+    arena/cache read (bitwise identical output).
+
+    ``cache_rows_fraction`` and ``cache_ways`` are the deprecated
+    pre-protocol spellings; they still work but warn.
     """
 
     precision: str = "fp32"
     hot_bytes: Optional[float] = None
-    cache_rows_fraction: float = 0.25
-    cache_ways: int = 32
+    cache_kind: str = "set_associative"
+    cache_fraction: float = 0.25
+    cache_config: Optional[Dict] = None
+    dedup: bool = True
+    # deprecated pre-RowCache spellings (fold into the fields above)
+    cache_rows_fraction: Optional[float] = None
+    cache_ways: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.cache_rows_fraction is not None:
+            warnings.warn(
+                "FreezeConfig(cache_rows_fraction=...) is deprecated; "
+                "pass cache_fraction=...", DeprecationWarning, stacklevel=3)
+            object.__setattr__(self, "cache_fraction",
+                               self.cache_rows_fraction)
+        if self.cache_ways is not None:
+            warnings.warn(
+                "FreezeConfig(cache_ways=...) is deprecated; pass "
+                "cache_config={'ways': ...}", DeprecationWarning,
+                stacklevel=3)
+            cache_config = dict(self.cache_config or {})
+            cache_config.setdefault("ways", self.cache_ways)
+            object.__setattr__(self, "cache_config", cache_config)
         if self.precision not in _EMB_BYTES:
             raise ValueError(
                 f"precision must be one of {sorted(_EMB_BYTES)}, "
                 f"got {self.precision!r}")
         if self.hot_bytes is not None and self.hot_bytes < 0:
             raise ValueError("hot_bytes must be >= 0")
-        if not 0.0 < self.cache_rows_fraction <= 1.0:
-            raise ValueError("cache_rows_fraction must be in (0, 1]")
-        if self.cache_ways < 1:
-            raise ValueError("cache_ways must be >= 1")
+        if self.cache_kind not in CACHE_KINDS:
+            raise ValueError(
+                f"cache_kind must be one of {list(CACHE_KINDS)}, "
+                f"got {self.cache_kind!r}")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in (0, 1]")
 
 
 class _ColdTable:
     """Forward-only pooled lookup through the software cache.
 
-    Wraps a read-only backing store plus a :class:`SetAssociativeCache`;
-    rows are exact (the cache is a placement model, not an approximation)
-    so the pooled output is bitwise-identical to a direct lookup while
-    hit/miss traffic accumulates in ``cache.stats`` for the perf model.
+    Wraps a read-only backing store plus any :class:`repro.cache.RowCache`
+    (built via :func:`repro.cache.make_cache`); rows are exact (the cache
+    is a placement model, not an approximation) so the pooled output is
+    bitwise-identical to a direct lookup while hit/miss traffic
+    accumulates in ``cache.stats`` for the perf model. With ``dedup``,
+    each unique id in a dispatch touches the cache once
+    (:func:`repro.embedding.dedup.dedup_cache_read`).
     """
 
     def __init__(self, name: str, weight: np.ndarray, pooling_mode: str,
-                 cache_rows_fraction: float, cache_ways: int) -> None:
+                 cache_kind: str, cache_fraction: float,
+                 cache_config: Optional[Dict] = None,
+                 dedup: bool = True) -> None:
         self.name = name
         self.pooling_mode = pooling_mode
+        self.dedup = dedup
         self.backing = ArrayBackingStore(weight)
         # the store copies its input (astype), so freeze its copy too
         self.backing.rows.flags.writeable = False
         num_rows, dim = weight.shape
-        target = max(1, int(num_rows * cache_rows_fraction))
-        ways = min(cache_ways, target)
-        self.cache = SetAssociativeCache(
-            num_sets=max(1, target // ways), row_dim=dim, ways=ways)
+        target = max(1, int(num_rows * cache_fraction))
+        self.cache = make_cache(cache_kind, row_dim=dim,
+                                capacity_rows=target,
+                                **dict(cache_config or {}))
+        self.rows_requested = 0
+        self.rows_read = 0
+
+    def warm(self, histogram: np.ndarray) -> int:
+        """Pre-pack the cache from a frequency histogram (kinds that
+        support it); warm traffic is excluded from the byte counters."""
+        warm = getattr(self.cache, "warm", None)
+        if warm is None:
+            return 0
+        count = warm(histogram, self.backing)
+        self.backing.reset_counters()
+        return count
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
-        if len(indices):
-            rows = self.cache.read(indices, self.backing)
-        else:
+        if not len(indices):
             rows = np.zeros((0, self.backing.row_dim), dtype=np.float32)
+        elif self.dedup:
+            rows, unique_count = dedup_cache_read(
+                self.cache, indices, self.backing)
+            self.rows_requested += len(indices)
+            self.rows_read += unique_count
+        else:
+            rows = self.cache.read(indices, self.backing)
+            self.rows_requested += len(indices)
+            self.rows_read += len(indices)
         out = segment_sum(rows, offsets)
         if self.pooling_mode == "mean":
             lengths = np.diff(offsets)
@@ -144,6 +202,11 @@ class ServableModel:
     # training steps the source had completed at freeze time — snapshot
     # provenance the online hot-swap slot uses for staleness accounting
     source_step: int = 0
+    # route serve-path lookups through repro.embedding.dedup: each unique
+    # id per dispatch pays one arena read (output is bitwise identical)
+    dedup: bool = True
+    dedup_rows_requested: int = 0
+    dedup_rows_read: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -177,10 +240,19 @@ class ServableModel:
 
     # ------------------------------------------------------------------
     def _pooled(self, batch: MiniBatch) -> Dict[str, np.ndarray]:
-        hot_inputs = {name: batch.sparse[name]
-                      for name in self.hot_table_names}
-        pooled = self.hot_tables.forward(hot_inputs) \
-            if self.hot_tables is not None else {}
+        pooled: Dict[str, np.ndarray] = {}
+        if self.hot_tables is not None:
+            if self.dedup:
+                for name in self.hot_table_names:
+                    indices, offsets = batch.sparse[name]
+                    pooled[name], unique_count = dedup_forward(
+                        self.hot_tables.table(name), indices, offsets)
+                    self.dedup_rows_requested += len(indices)
+                    self.dedup_rows_read += unique_count
+            else:
+                hot_inputs = {name: batch.sparse[name]
+                              for name in self.hot_table_names}
+                pooled = self.hot_tables.forward(hot_inputs)
         for name, table in self.cold_tables.items():
             indices, offsets = batch.sparse[name]
             pooled[name] = table.forward(indices, offsets)
@@ -216,7 +288,9 @@ def _freeze_array(a: np.ndarray) -> np.ndarray:
 
 
 def freeze(source, config: Optional[FreezeConfig] = None,
-           step: Optional[int] = None) -> ServableModel:
+           step: Optional[int] = None,
+           frequency_stats: Optional[FrequencyStats] = None
+           ) -> ServableModel:
     """Snapshot a trainer or reference model into a :class:`ServableModel`.
 
     ``source`` is a :class:`repro.core.NeoTrainer` (exported via its
@@ -224,6 +298,14 @@ def freeze(source, config: Optional[FreezeConfig] = None,
     a :class:`repro.models.DLRM`. ``step`` overrides the recorded
     training-step provenance; by default a trainer's own step counter is
     stamped onto the artifact (``source_step``).
+
+    ``frequency_stats`` (a :class:`repro.data.FrequencyStats`, typically
+    from the ingestion service's ``track_frequencies``) makes the
+    hot/cold packing frequency-aware: tables are packed into the HBM
+    budget by observed accesses *per byte* instead of smallest-first,
+    and cold-tier caches that support histogram warm-up (the
+    ``freq_aware`` kind) are pre-packed with each table's hottest rows
+    before the artifact serves its first request.
     """
     cfg = config if config is not None else FreezeConfig()
     if step is None:
@@ -267,10 +349,20 @@ def freeze(source, config: Optional[FreezeConfig] = None,
     per_element = _EMB_BYTES[cfg.precision]
     hot: List[EmbeddingTable] = []
     cold: Dict[str, _ColdTable] = {}
-    # smallest-first packing maximizes how many tables stay arena-served;
-    # the big cold tables are exactly the ones the cache tier is for
-    order = sorted(dlrm_config.tables, key=lambda t: (t.num_parameters,
-                                                      t.name))
+    if frequency_stats is not None:
+        # frequency-aware packing: spend the HBM budget on the tables
+        # with the most observed accesses per byte
+        def hotness_per_byte(t):
+            return frequency_stats.total(t.name) / max(
+                1, t.num_parameters * per_element)
+        order = sorted(dlrm_config.tables,
+                       key=lambda t: (-hotness_per_byte(t), t.name))
+    else:
+        # smallest-first packing maximizes how many tables stay
+        # arena-served; the big cold tables are exactly the ones the
+        # cache tier is for
+        order = sorted(dlrm_config.tables, key=lambda t: (t.num_parameters,
+                                                          t.name))
     budget = cfg.hot_bytes if cfg.hot_bytes is not None else float("inf")
     for t in order:
         table_bytes = t.num_parameters * per_element
@@ -280,7 +372,11 @@ def freeze(source, config: Optional[FreezeConfig] = None,
         else:
             cold[t.name] = _ColdTable(
                 t.name, _freeze_array(quantized[t.name]), t.pooling_mode,
-                cfg.cache_rows_fraction, cfg.cache_ways)
+                cfg.cache_kind, cfg.cache_fraction, cfg.cache_config,
+                dedup=cfg.dedup)
+            if frequency_stats is not None:
+                cold[t.name].warm(frequency_stats.histogram(
+                    t.name, t.num_embeddings))
     hot_collection = None
     if hot:
         # keep config order inside the collection (feature order is config
@@ -299,4 +395,4 @@ def freeze(source, config: Optional[FreezeConfig] = None,
         config=dlrm_config, precision=cfg.precision, bottom=bottom, top=top,
         interaction=dlrm_config.make_interaction(), projections=projections,
         hot_tables=hot_collection, cold_tables=cold,
-        quantization_error=errors, source_step=step)
+        quantization_error=errors, source_step=step, dedup=cfg.dedup)

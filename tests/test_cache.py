@@ -35,7 +35,7 @@ class TestBackingStore:
 
 class TestSetAssociativeCache:
     def test_miss_then_hit(self):
-        cache = SetAssociativeCache(num_sets=4, row_dim=4, ways=2)
+        cache = SetAssociativeCache(capacity_rows=8, row_dim=4, ways=2)
         backing = make_backing()
         cache.read(np.array([3]), backing)
         assert cache.stats.misses == 1 and cache.stats.hits == 0
@@ -43,14 +43,14 @@ class TestSetAssociativeCache:
         assert cache.stats.hits == 1
 
     def test_read_returns_backing_values(self):
-        cache = SetAssociativeCache(num_sets=8, row_dim=4)
+        cache = SetAssociativeCache(capacity_rows=256, row_dim=4)
         backing = make_backing()
         ids = np.array([1, 17, 33, 1])
         out = cache.read(ids, backing)
         np.testing.assert_array_equal(out, backing.rows[ids])
 
     def test_read_after_write_returns_written(self):
-        cache = SetAssociativeCache(num_sets=4, row_dim=4, ways=2)
+        cache = SetAssociativeCache(capacity_rows=8, row_dim=4, ways=2)
         backing = make_backing()
         new = np.full((1, 4), 9.0, dtype=np.float32)
         cache.write(np.array([7]), new, backing)
@@ -59,7 +59,7 @@ class TestSetAssociativeCache:
 
     def test_write_back_on_eviction(self):
         """Dirty victim reaches the backing store when evicted."""
-        cache = SetAssociativeCache(num_sets=1, row_dim=4, ways=1)
+        cache = SetAssociativeCache(capacity_rows=1, row_dim=4, ways=1)
         backing = make_backing(h=8)
         new = np.full((1, 4), 5.0, dtype=np.float32)
         cache.write(np.array([0]), new, backing)
@@ -69,7 +69,7 @@ class TestSetAssociativeCache:
         assert cache.stats.writebacks == 1
 
     def test_clean_eviction_no_writeback(self):
-        cache = SetAssociativeCache(num_sets=1, row_dim=4, ways=1)
+        cache = SetAssociativeCache(capacity_rows=1, row_dim=4, ways=1)
         backing = make_backing(h=8)
         cache.read(np.array([0]), backing)
         cache.read(np.array([1]), backing)
@@ -77,7 +77,7 @@ class TestSetAssociativeCache:
         assert cache.stats.writebacks == 0
 
     def test_lru_evicts_least_recent(self):
-        cache = SetAssociativeCache(num_sets=1, row_dim=4, ways=2,
+        cache = SetAssociativeCache(capacity_rows=2, row_dim=4, ways=2,
                                     policy="lru")
         backing = make_backing(h=8)
         cache.read(np.array([0]), backing)
@@ -88,7 +88,7 @@ class TestSetAssociativeCache:
         assert not cache.contains(1)
 
     def test_lfu_evicts_least_frequent(self):
-        cache = SetAssociativeCache(num_sets=1, row_dim=4, ways=2,
+        cache = SetAssociativeCache(capacity_rows=2, row_dim=4, ways=2,
                                     policy="lfu")
         backing = make_backing(h=8)
         for _ in range(3):
@@ -99,7 +99,7 @@ class TestSetAssociativeCache:
         assert not cache.contains(1)
 
     def test_flush_writes_all_dirty(self):
-        cache = SetAssociativeCache(num_sets=4, row_dim=4, ways=2)
+        cache = SetAssociativeCache(capacity_rows=8, row_dim=4, ways=2)
         backing = make_backing(h=16)
         vals = np.arange(8, dtype=np.float32).reshape(2, 4)
         cache.write(np.array([2, 9]), vals, backing)
@@ -110,7 +110,7 @@ class TestSetAssociativeCache:
         assert cache.flush(backing) == 0  # idempotent
 
     def test_hit_plus_miss_equals_accesses(self):
-        cache = SetAssociativeCache(num_sets=4, row_dim=4)
+        cache = SetAssociativeCache(capacity_rows=128, row_dim=4)
         backing = make_backing()
         rng = np.random.default_rng(0)
         ids = rng.integers(0, 64, size=200)
@@ -118,22 +118,26 @@ class TestSetAssociativeCache:
         assert cache.stats.accesses == 200
 
     def test_set_mapping(self):
-        cache = SetAssociativeCache(num_sets=4, row_dim=4)
+        cache = SetAssociativeCache(capacity_rows=128, row_dim=4)
         assert cache._set_index(7) == 3
         assert cache._set_index(8) == 0
 
     def test_invalid_params(self):
         with pytest.raises(ValueError):
-            SetAssociativeCache(num_sets=0, row_dim=4)
+            SetAssociativeCache(capacity_rows=0, row_dim=4)
         with pytest.raises(ValueError):
-            SetAssociativeCache(num_sets=4, row_dim=4, policy="fifo")
+            SetAssociativeCache(capacity_rows=128, row_dim=4, policy="fifo")
+        with pytest.raises(TypeError):
+            SetAssociativeCache(row_dim=4)  # no sizing at all
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=4, row_dim=4, capacity_rows=128)
 
     @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
                     max_size=100))
     @settings(max_examples=30, deadline=None)
     def test_coherence_property(self, trace):
         """Reads through the cache always equal a shadow dense copy."""
-        cache = SetAssociativeCache(num_sets=2, row_dim=4, ways=2)
+        cache = SetAssociativeCache(capacity_rows=4, row_dim=4, ways=2)
         backing = make_backing(h=64, seed=1)
         shadow = backing.rows.copy()
         rng = np.random.default_rng(0)
@@ -188,7 +192,7 @@ class TestUVMPageCache:
         backing_row = make_backing(h=h, d=d, seed=2)
         backing_uvm = make_backing(h=h, d=d, seed=2)
         capacity = 256
-        row_cache = SetAssociativeCache(num_sets=capacity // 32, row_dim=d,
+        row_cache = SetAssociativeCache(capacity_rows=capacity, row_dim=d,
                                         ways=32)
         uvm = UVMPageCache(capacity_rows=capacity, row_dim=d,
                            rows_per_page=64)
@@ -272,7 +276,7 @@ class TestMemoryHierarchy:
 class TestCachedEmbeddingTable:
     def make(self, h=32, d=4):
         cfg = EmbeddingTableConfig("t", h, d)
-        cache = SetAssociativeCache(num_sets=4, row_dim=d, ways=2)
+        cache = SetAssociativeCache(capacity_rows=8, row_dim=d, ways=2)
         return CachedEmbeddingTable(cfg, cache,
                                     rng=np.random.default_rng(0))
 
