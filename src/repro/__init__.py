@@ -16,7 +16,9 @@ Layering (bottom-up):
 * :mod:`repro.perf` — device rooflines and end-to-end throughput model
 * :mod:`repro.baselines` — async parameter-server and Zion comparisons
 * :mod:`repro.serving` — frozen-model export, micro-batching, SLO serving
-* :mod:`repro.fleet` — multi-replica serving: routing, autoscaling, traffic
+* :mod:`repro.planner` — per-table representation planning under budgets
+* :mod:`repro.fleet` — multi-replica serving: routing, autoscaling,
+  traffic, multi-tenant hosting
 * :mod:`repro.metrics` — normalized entropy et al.
 """
 
@@ -35,6 +37,7 @@ __all__ = [
     "perf",
     "baselines",
     "serving",
+    "planner",
     "fleet",
     "metrics",
     "lowp",

@@ -29,6 +29,12 @@
   capacity (set-associative, UVM pages, frequency-aware chunks, and
   frequency-aware with pipelined prefetch) and prints hit rate, slow
   tier traffic, and modeled effective bandwidth per Zipf alpha.
+* ``python -m repro planner-bench`` — runs the multi-path
+  representation planner over a mini Table 3 model at a hot-memory
+  budget fraction and quality floor, prints the per-table assignment
+  (full/fp16/bf16/int8/TT/cold) with measured errors and the memory
+  comparison against every uniform single-path baseline at the same
+  floor.
 """
 
 from __future__ import annotations
@@ -455,6 +461,70 @@ def cache_bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def planner_bench_command(args: argparse.Namespace) -> int:
+    """Plan a mini model's per-table representations under a budget and
+    print the assignment plus the uniform-baseline comparison."""
+    from repro.data import SyntheticCTRDataset
+    from repro.models import DLRM, mini_config
+    from repro.planner import (PlanBudget, PlannerCostModel,
+                               plan_representation, uniform_plan)
+
+    if not 0.0 <= args.budget_frac:
+        print("error: --budget-frac must be >= 0", file=sys.stderr)
+        return 2
+    if args.quality_floor is not None and args.quality_floor < 0:
+        print("error: --quality-floor must be >= 0", file=sys.stderr)
+        return 2
+    if args.eval_batch < 1:
+        print("error: --eval-batch must be positive", file=sys.stderr)
+        return 2
+
+    config = mini_config(args.model)
+    model = DLRM(config, seed=args.seed)
+    full_bytes = sum(t.num_parameters * 4 for t in config.tables)
+    cost = PlannerCostModel(allow_tt=not args.no_tt)
+    budget = PlanBudget(hot_bytes=full_bytes * args.budget_frac,
+                        quality_floor=args.quality_floor,
+                        ne_floor=args.ne_floor)
+    eval_batch = None
+    if args.ne_floor is not None:
+        eval_batch = SyntheticCTRDataset(
+            config.tables, dense_dim=config.dense_dim,
+            seed=args.seed + 1).batch(args.eval_batch, 0)
+    plan = plan_representation(model, budget, cost=cost,
+                               eval_batch=eval_batch)
+
+    floor_txt = ("none" if args.quality_floor is None
+                 else f"{args.quality_floor:g}")
+    print(f"planner-bench: {args.model} mini, budget "
+          f"{args.budget_frac:.0%} of {full_bytes / 1024:.0f} KiB full "
+          f"fp32, quality floor {floor_txt}\n")
+    header = ["table", "kind", "hot KiB", "total KiB", "error"]
+    rows = [[name, a.kind, f"{a.hot_bytes / 1024:.1f}",
+             f"{a.total_bytes / 1024:.1f}", f"{a.error:.2g}"]
+            for name, a in sorted(plan.assignments.items())]
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    print(f"\nmixed plan: {plan.hot_bytes() / 1024:.1f} KiB hot "
+          f"({plan.memory_saving():.0%} saved), max element error "
+          f"{plan.max_error():.2g}")
+    if plan.measured_ne_gap is not None:
+        print(f"measured NE gap vs fp32 export: "
+              f"{plan.measured_ne_gap:.2e} (floor {args.ne_floor:g})")
+    print("\nuniform baselines at the same floor:")
+    for kind in ("full", "fp16", "bf16", "int8"):
+        uniform = uniform_plan(model, kind, cost=cost)
+        feasible = (args.quality_floor is None
+                    or uniform.max_error() <= args.quality_floor)
+        print(f"  {kind:>5}: {uniform.hot_bytes() / 1024:8.1f} KiB hot, "
+              f"max error {uniform.max_error():.2g}"
+              f"{'' if feasible else '  (breaches floor)'}")
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.models import MODEL_NAMES
 
@@ -583,6 +653,27 @@ def main(argv=None) -> int:
                          help="UVM page size in rows")
     cache_p.add_argument("--seed", type=int, default=0,
                          help="trace seed")
+    planner_p = sub.add_parser(
+        "planner-bench",
+        help="plan per-table representations under a memory budget")
+    planner_p.add_argument("--model", default="A2", choices=MODEL_NAMES,
+                           help="Table 3 model whose mini config to plan")
+    planner_p.add_argument("--budget-frac", type=float, default=0.25,
+                           help="hot-memory budget as a fraction of the "
+                                "all-full fp32 footprint")
+    planner_p.add_argument("--quality-floor", type=float, default=None,
+                           metavar="E",
+                           help="per-table max element error cap (hard)")
+    planner_p.add_argument("--ne-floor", type=float, default=None,
+                           metavar="G",
+                           help="measured NE-gap cap against the fp32 "
+                                "export (enables the eval pass)")
+    planner_p.add_argument("--eval-batch", type=int, default=256,
+                           help="eval batch size for the NE pass")
+    planner_p.add_argument("--no-tt", action="store_true",
+                           help="exclude tensor-train candidates")
+    planner_p.add_argument("--seed", type=int, default=0,
+                           help="model / dataset seed")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -595,6 +686,8 @@ def main(argv=None) -> int:
         return fleet_bench_command(args)
     if args.command == "cache-bench":
         return cache_bench_command(args)
+    if args.command == "planner-bench":
+        return planner_bench_command(args)
     return selfcheck()
 
 

@@ -21,8 +21,9 @@ single contract they all implement:
 * :func:`make_cache` — the one factory: every cache is built as
   ``make_cache(kind, row_dim=D, capacity_rows=N, **cfg)`` with a
   like-for-like capacity in rows, so policies are swappable at every
-  call site. The legacy per-class constructor forms keep working but
-  warn (same deprecation pattern as the comms v2 ``direction=`` shim).
+  call site. The legacy geometry-first constructor forms (e.g.
+  ``SetAssociativeCache(num_sets=...)``) were removed after their
+  deprecation window.
 """
 
 from __future__ import annotations

@@ -14,15 +14,14 @@ This implementation is a faithful functional model: it stores real row
 data, returns exact values, and counts hits/misses/evictions/writebacks so
 benchmarks can convert traffic into time via the platform bandwidth model.
 
-It implements the :class:`repro.cache.RowCache` protocol; the canonical
-constructor form is ``capacity_rows=`` (or :func:`repro.cache.make_cache`
-with ``kind="set_associative"``). The pre-protocol ``num_sets=`` form
-still works but emits a :class:`DeprecationWarning`.
+It implements the :class:`repro.cache.RowCache` protocol; the constructor
+form is ``capacity_rows=`` (or :func:`repro.cache.make_cache` with
+``kind="set_associative"``). The pre-protocol ``num_sets=`` form was
+removed after its deprecation window — passing it raises ``TypeError``.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
 import numpy as np
@@ -49,36 +48,21 @@ class SetAssociativeCache(RowCacheBase):
     policy:
         ``"lru"`` (least recently used) or ``"lfu"`` (least frequently
         used), the two policies of Section 4.1.3.
-    num_sets:
-        Deprecated pre-protocol sizing (capacity was ``num_sets * ways``);
-        still honoured, but warns. Pass ``capacity_rows`` instead.
     """
 
-    def __init__(self, num_sets: Optional[int] = None,
-                 row_dim: Optional[int] = None, ways: int = 32,
+    def __init__(self, row_dim: Optional[int] = None, ways: int = 32,
                  policy: str = "lru", *,
                  capacity_rows: Optional[int] = None) -> None:
         if row_dim is None:
             raise TypeError("row_dim is required")
-        if capacity_rows is not None:
-            if num_sets is not None:
-                raise ValueError(
-                    "pass capacity_rows= or the deprecated num_sets=, "
-                    "not both")
-            if capacity_rows <= 0:
-                raise ValueError("capacity_rows must be positive")
-            ways = max(1, min(ways, capacity_rows))
-            num_sets = max(1, capacity_rows // ways)
-        elif num_sets is not None:
-            warnings.warn(
-                "SetAssociativeCache(num_sets=...) is deprecated; pass "
-                "capacity_rows=... or build via "
-                "repro.cache.make_cache('set_associative', ...)",
-                DeprecationWarning, stacklevel=2)
-        else:
+        if capacity_rows is None:
             raise TypeError("capacity_rows is required")
-        if num_sets <= 0 or ways <= 0:
-            raise ValueError("num_sets and ways must be positive")
+        if capacity_rows <= 0:
+            raise ValueError("capacity_rows must be positive")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        ways = min(ways, capacity_rows)
+        num_sets = max(1, capacity_rows // ways)
         if policy not in ("lru", "lfu"):
             raise ValueError(f"policy must be 'lru' or 'lfu', got {policy!r}")
         super().__init__()

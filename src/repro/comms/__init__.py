@@ -4,10 +4,10 @@ cluster topology and the alpha-beta latency model (paper Sections 4.5, 5.1).
 The v2 process-group surface is re-exported here: typed AlltoAll dispatch
 (:class:`AlltoAllKind`), accounting-carrying returns
 (:class:`CollectiveResult`) and the snake-case latency-model names
-(``perf_model.all_to_all_time`` et al.). Deprecated pre-v2 forms (string
-``direction=`` dispatch, ``perf_model.alltoall_time``-style names) keep
-working with a :class:`DeprecationWarning`; see ``docs/observability.md``
-for the deprecation timeline.
+(``perf_model.all_to_all_time`` et al.). The pre-v2 string
+``direction=`` dispatch was removed after its deprecation window; only
+the ``perf_model.alltoall_time``-style name aliases still warn. See
+``docs/observability.md`` for the deprecation timeline.
 """
 
 from . import collectives, param_bench, perf_model

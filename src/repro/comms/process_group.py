@@ -19,8 +19,9 @@ accessors aggregate.
 The v2 surface (this module) differs from the original in three ways:
 
 * AlltoAll flavours are selected with the typed :class:`AlltoAllKind`
-  enum. The old ``direction="forward_alltoall"`` string form still works
-  but emits a :class:`DeprecationWarning`.
+  enum. The old ``direction="forward_alltoall"`` string form was removed
+  after its deprecation window — ``direction=`` raises ``TypeError`` and
+  string kinds raise ``ValueError``.
 * Every collective returns a :class:`CollectiveResult` carrying the
   outputs *and* the accounting (wire bytes, modeled seconds) of that
   call, so callers no longer re-derive byte counts from payload shapes.
@@ -52,7 +53,6 @@ paths of column-wise sharding):
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from enum import Enum
@@ -82,30 +82,14 @@ class AlltoAllKind(Enum):
     INDEX = "index"
 
 
-def _coerce_alltoall_kind(kind: Union[AlltoAllKind, str],
-                          direction: Optional[str]) -> AlltoAllKind:
-    """Normalize the v2 ``kind`` / deprecated ``direction`` arguments."""
-    if direction is not None:
-        warnings.warn(
-            "all_to_all(direction=...) is deprecated; pass "
-            "kind=AlltoAllKind.FORWARD / .BACKWARD / .INDEX instead",
-            DeprecationWarning, stacklevel=3)
-        kind = direction
+def _coerce_alltoall_kind(kind: Union[AlltoAllKind, str]) -> AlltoAllKind:
+    """Require the typed v2 ``kind``; the string forms are gone."""
     if isinstance(kind, AlltoAllKind):
         return kind
-    if direction is None:
-        # string passed through the new parameter (positionally or as
-        # kind="..."): still works, still deprecated
-        warnings.warn(
-            f"string AlltoAll dispatch ({kind!r}) is deprecated; pass "
-            "kind=AlltoAllKind.FORWARD / .BACKWARD / .INDEX instead",
-            DeprecationWarning, stacklevel=3)
-    try:
-        return AlltoAllKind(kind)
-    except ValueError:
-        raise ValueError(
-            f"unknown direction {kind!r}; expected one of "
-            f"{[k.value for k in AlltoAllKind]}") from None
+    raise ValueError(
+        f"AlltoAll dispatch takes kind=AlltoAllKind.FORWARD / .BACKWARD "
+        f"/ .INDEX; the string form ({kind!r}) was removed after its "
+        f"deprecation window")
 
 
 @dataclass
@@ -296,10 +280,10 @@ class SimProcessGroup:
         return result
 
     def all_to_all(self, inputs: List[List[np.ndarray]],
-                   kind: Union[AlltoAllKind, str] = AlltoAllKind.FORWARD,
-                   *, direction: Optional[str] = None) -> CollectiveResult:
+                   kind: Union[AlltoAllKind, str] = AlltoAllKind.FORWARD
+                   ) -> CollectiveResult:
         self._check_world(inputs, "all_to_all")
-        kind = _coerce_alltoall_kind(kind, direction)
+        kind = _coerce_alltoall_kind(kind)
         if kind is AlltoAllKind.FORWARD:
             codec = self.comms_config.forward_codec()
             precision = self.comms_config.forward_alltoall

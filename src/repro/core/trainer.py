@@ -59,8 +59,8 @@ from ..comms.bucketing import GradientBucketer
 from ..data.datagen import MiniBatch
 from ..data.kernels import bucketize_sparse
 from ..embedding import (EmbeddingArena, EmbeddingTable,
-                         EmbeddingTableConfig, SparseGradient,
-                         SparseOptimizer)
+                         EmbeddingTableConfig, QuantizedEmbeddingTable,
+                         SparseGradient, SparseOptimizer)
 from ..embedding.table import lengths_to_offsets, offsets_to_lengths
 from ..models.dlrm import DLRM, DLRMConfig
 from ..obs.metrics import MetricRegistry
@@ -198,7 +198,8 @@ class NeoTrainer:
                  metrics: Optional[MetricRegistry] = None,
                  process_group_factory: Optional[
                      Callable[..., SimProcessGroup]] = None,
-                 stacked: bool = True) -> None:
+                 stacked: bool = True,
+                 representation_plan=None) -> None:
         if plan.world_size != topology.world_size:
             raise ValueError(
                 f"plan world size {plan.world_size} != topology world size "
@@ -216,6 +217,19 @@ class NeoTrainer:
                     f"(table {t.name} uses {t.pooling_mode})")
         self.config = config
         self.plan = plan
+        # optional repro.planner.RepresentationPlan (duck-typed: anything
+        # with training_precision(name)): tables planned for fp16/bf16/
+        # int8 serving train on quantized shard storage so the trained
+        # weights already live with the round-trip numerics the export
+        # will freeze; full/tt/cold-planned tables train fp32
+        self.representation_plan = representation_plan
+        if representation_plan is not None:
+            missing_repr = [t.name for t in config.tables
+                            if t.name not in representation_plan.assignments]
+            if missing_repr:
+                raise ValueError(
+                    f"representation plan has no assignment for tables "
+                    f"{missing_repr}")
         # observability: off by default (no-op tracer); `trace` accepts a
         # Tracer, True (wall clock) or a clock name ("wall"/"logical")
         self.tracer = as_tracer(trace)
@@ -284,9 +298,15 @@ class NeoTrainer:
                      metrics: Optional[MetricRegistry] = None,
                      process_group_factory: Optional[
                          Callable[..., SimProcessGroup]] = None,
-                     stacked: bool = True) -> "NeoTrainer":
+                     stacked: bool = True,
+                     representation_plan=None) -> "NeoTrainer":
         """Build a trainer with an automatically planned, memory-validated
-        sharding plan — the one-call production entry point."""
+        sharding plan — the one-call production entry point.
+
+        ``representation_plan`` is an optional
+        :class:`repro.planner.RepresentationPlan`: tables the plan stores
+        at fp16/bf16/int8 train on quantized shards (write-back through
+        the storage precision after every sparse step)."""
         from ..sharding import EmbeddingShardingPlanner, PlannerConfig
         from ..sharding.memory_validation import validate_plan_memory
         if planner_config is None:
@@ -302,7 +322,7 @@ class NeoTrainer:
                    sparse_optimizer, comms_config=comms_config, seed=seed,
                    trace=trace, metrics=metrics,
                    process_group_factory=process_group_factory,
-                   stacked=stacked)
+                   stacked=stacked, representation_plan=representation_plan)
 
     @property
     def stacked(self) -> bool:
@@ -349,15 +369,24 @@ class NeoTrainer:
         self._update_counters: Dict[Shard, object] = {}
         for t in config.tables:
             weight = golden.embeddings.table(t.name).weight
+            train_precision = "fp32"
+            if self.representation_plan is not None:
+                train_precision = \
+                    self.representation_plan.training_precision(t.name)
             for shard in plan.tables[t.name].shards:
                 r0, r1 = shard.row_range
                 c0, c1 = shard.col_range
                 shard_cfg = EmbeddingTableConfig(
                     name=f"{t.name}@{shard.rank}:{r0}-{r1}:{c0}-{c1}",
                     num_embeddings=r1 - r0, embedding_dim=c1 - c0,
-                    avg_pooling=t.avg_pooling, pooling_mode=t.pooling_mode)
-                self._shard_tables[shard] = EmbeddingTable(
-                    shard_cfg, weight=weight[r0:r1, c0:c1])
+                    avg_pooling=t.avg_pooling, pooling_mode=t.pooling_mode,
+                    precision=train_precision)
+                if train_precision == "fp32":
+                    self._shard_tables[shard] = EmbeddingTable(
+                        shard_cfg, weight=weight[r0:r1, c0:c1])
+                else:
+                    self._shard_tables[shard] = QuantizedEmbeddingTable(
+                        shard_cfg, weight=weight[r0:r1, c0:c1])
                 self._lookup_counters[shard] = emb_metrics.counter(
                     "lookup_rows", table=t.name)
                 self._update_counters[shard] = emb_metrics.counter(
@@ -395,16 +424,28 @@ class NeoTrainer:
         ``embedding_update`` span."""
         with self.tracer.span("trainer.embedding_update", cat="embedding",
                               table=shard.table, rank=shard.rank):
-            grad = self._shard_tables[shard].backward(d_global)
-            self.sparse_opt.step(self._shard_tables[shard], grad)
+            table = self._shard_tables[shard]
+            grad = table.backward(d_global)
+            self.sparse_opt.step(table, grad)
+            self._sync_shard_storage(table)
         self._update_counters[shard].inc(int(len(grad.rows)))
         self._launch_counter.inc(1)  # one merge+apply dispatch
 
     def _apply_sparse(self, shard: Shard, sparse: SparseGradient) -> None:
         with self.tracer.span("trainer.embedding_update", cat="embedding",
                               table=shard.table, rank=shard.rank):
-            self.sparse_opt.step(self._shard_tables[shard], sparse)
+            table = self._shard_tables[shard]
+            self.sparse_opt.step(table, sparse)
+            self._sync_shard_storage(table)
         self._update_counters[shard].inc(int(len(sparse.rows)))
+
+    @staticmethod
+    def _sync_shard_storage(table: EmbeddingTable) -> None:
+        """Re-round a quantized shard's storage after an optimizer step
+        (no-op for fp32 shards) — the write-back half of training on
+        low-precision tables."""
+        if isinstance(table, QuantizedEmbeddingTable):
+            table.sync_storage()
 
     # ------------------------------------------------------------------
     # embedding forward/backward, per scheme

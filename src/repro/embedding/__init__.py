@@ -13,7 +13,7 @@ from .optim import (RowWiseAdaGrad, SparseAdaGrad, SparseAdam, SparseLAMB,
 from .quantized import QuantizedEmbeddingTable
 from .table import (EmbeddingTable, EmbeddingTableConfig, SparseGradient,
                     lengths_to_offsets, offsets_to_lengths)
-from .tt import TTEmbeddingTable, factorize_dims
+from .tt import TTEmbeddingTable, factorize_dims, tt_decompose
 
 __all__ = [
     "EmbeddingTable",
@@ -39,6 +39,7 @@ __all__ = [
     "QuantizedEmbeddingTable",
     "TTEmbeddingTable",
     "factorize_dims",
+    "tt_decompose",
     "dedup_forward",
     "dedup_cache_read",
     "duplication_factor",

@@ -18,7 +18,7 @@ import numpy as np
 
 from .kernels import segment_sum
 
-__all__ = ["TTEmbeddingTable", "factorize_dims"]
+__all__ = ["TTEmbeddingTable", "factorize_dims", "tt_decompose"]
 
 
 def factorize_dims(value: int, num_factors: int) -> Tuple[int, ...]:
@@ -44,6 +44,52 @@ def factorize_dims(value: int, num_factors: int) -> Tuple[int, ...]:
         remaining //= best
     factors[-1] = remaining
     return tuple(factors)
+
+
+def tt_decompose(weight: np.ndarray, ranks: Sequence[int] = (8, 8),
+                 row_factors: Optional[Sequence[int]] = None,
+                 dim_factors: Optional[Sequence[int]] = None
+                 ) -> List[np.ndarray]:
+    """TT-SVD of a trained ``(H, D)`` table into :class:`TTEmbeddingTable`
+    cores ``G_k`` of shape ``(h_k, r_{k-1}, d_k, r_k)``.
+
+    Sequential truncated SVD over the interleaved ``(h_1, d_1, ..., h_K,
+    d_K)`` tensor; requested ranks are clamped to the matrix ranks of the
+    unfoldings, so asking for a rank at least ``min(H, D)`` reproduces the
+    input exactly (up to fp32 rounding). Deterministic for a given input.
+    """
+    weight = np.asarray(weight)
+    if weight.ndim != 2:
+        raise ValueError("weight must be a 2-D (H, D) array")
+    num_rows, dim = weight.shape
+    k = len(ranks) + 1
+    row_factors = tuple(row_factors) if row_factors else \
+        factorize_dims(num_rows, k)
+    dim_factors = tuple(dim_factors) if dim_factors else \
+        factorize_dims(dim, k)
+    if math.prod(row_factors) != num_rows or math.prod(dim_factors) != dim:
+        raise ValueError("factors must multiply to the table shape")
+    # reshape to (h_1..h_K, d_1..d_K) and interleave to (h_1, d_1, ...)
+    tensor = weight.astype(np.float64).reshape(*row_factors, *dim_factors)
+    perm: List[int] = []
+    for i in range(k):
+        perm.extend((i, k + i))
+    tensor = tensor.transpose(perm)
+    modes = [row_factors[i] * dim_factors[i] for i in range(k)]
+    cores: List[np.ndarray] = []
+    carry = tensor.reshape(1, -1)
+    r_prev = 1
+    for i in range(k - 1):
+        mat = carry.reshape(r_prev * modes[i], -1)
+        u, s, vt = np.linalg.svd(mat, full_matrices=False)
+        r = int(min(ranks[i], len(s)))
+        core = u[:, :r].reshape(r_prev, row_factors[i], dim_factors[i], r)
+        cores.append(core.transpose(1, 0, 2, 3).astype(np.float32))
+        carry = s[:r, None] * vt[:r]
+        r_prev = r
+    last = carry.reshape(r_prev, row_factors[-1], dim_factors[-1], 1)
+    cores.append(last.transpose(1, 0, 2, 3).astype(np.float32))
+    return cores
 
 
 class TTEmbeddingTable:
@@ -89,6 +135,23 @@ class TTEmbeddingTable:
                 rng.normal(0.0, scale, size=shape).astype(np.float32))
         self.core_grads: List[Optional[np.ndarray]] = [None] * k
         self._saved: Optional[tuple] = None
+
+    @classmethod
+    def from_weight(cls, name: str, weight: np.ndarray,
+                    ranks: Sequence[int] = (8, 8),
+                    row_factors: Optional[Sequence[int]] = None,
+                    dim_factors: Optional[Sequence[int]] = None
+                    ) -> "TTEmbeddingTable":
+        """Build a TT table approximating a trained ``(H, D)`` weight via
+        :func:`tt_decompose` (ranks clamp to the unfoldings' ranks)."""
+        cores = tt_decompose(weight, ranks=ranks, row_factors=row_factors,
+                             dim_factors=dim_factors)
+        table = cls(name, weight.shape[0], weight.shape[1],
+                    ranks=[c.shape[3] for c in cores[:-1]],
+                    row_factors=[c.shape[0] for c in cores],
+                    dim_factors=[c.shape[2] for c in cores])
+        table.cores = cores
+        return table
 
     # ------------------------------------------------------------------
     # index arithmetic

@@ -23,8 +23,16 @@ deterministic:
   goodput-under-overload / day-report curves, merged with *exact*
   percentiles through :meth:`repro.serving.LoadReport.merge`.
 
+* :mod:`repro.fleet.tenancy` — the multi-tenant plane: a
+  :class:`TenantSpec` zoo served either by planner-partitioned replica
+  subsets or a naive shared deployment, with per-tenant SLO reports
+  (``MultiTenantFleet``) and :func:`plan_tenancy` splitting one
+  hot-memory budget across tenants through
+  :mod:`repro.planner`.
+
 ``benchmarks/bench_fleet.py`` regenerates the curves and gates them;
-``python -m repro fleet-bench`` is the CLI front-end.
+``python -m repro fleet-bench`` (and ``planner-bench`` for tenancy)
+are the CLI front-ends.
 """
 
 from .autoscaler import (Autoscaler, AutoscalerConfig, replica_warmup_s,
@@ -34,6 +42,9 @@ from .fleet import FleetResult, ServingFleet
 from .report import (CapacityPoint, FleetDayReport, ScaleEvent,
                      WindowRecord, capacity_sweep, overload_sweep)
 from .router import ROUTING_POLICIES, FleetRouter, RouterPolicy, RoutingPlan
+from .tenancy import (TENANCY_MODES, FleetTenancyReport, MultiTenantFleet,
+                      MultiTenantServer, TenantLoadSummary, TenantSpec,
+                      partition_replicas, plan_tenancy)
 from .traffic import DEFAULT_DAY_CURVE, DayCurve, FleetTraffic
 
 __all__ = [
@@ -58,4 +69,12 @@ __all__ = [
     "CapacityPoint",
     "capacity_sweep",
     "overload_sweep",
+    "TENANCY_MODES",
+    "TenantSpec",
+    "MultiTenantServer",
+    "TenantLoadSummary",
+    "FleetTenancyReport",
+    "MultiTenantFleet",
+    "partition_replicas",
+    "plan_tenancy",
 ]

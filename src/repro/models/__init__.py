@@ -1,8 +1,8 @@
 """DLRM model assembly and the paper's production model zoo (Table 3)."""
 
 from .dlrm import DLRM, DLRMConfig
-from .zoo import (MODEL_NAMES, TABLE3_REFERENCE, ModelSpec, full_spec,
-                  mini_config)
+from .zoo import (MODEL_NAMES, TABLE3_REFERENCE, ZOO_SIZES, ModelSpec,
+                  full_spec, mini_config, zoo_config)
 
 __all__ = [
     "DLRM",
@@ -10,6 +10,8 @@ __all__ = [
     "ModelSpec",
     "full_spec",
     "mini_config",
+    "zoo_config",
     "MODEL_NAMES",
+    "ZOO_SIZES",
     "TABLE3_REFERENCE",
 ]

@@ -25,10 +25,13 @@ import numpy as np
 from ..embedding import EmbeddingTableConfig
 from .dlrm import DLRMConfig
 
-__all__ = ["ModelSpec", "full_spec", "mini_config", "MODEL_NAMES",
-           "TABLE3_REFERENCE"]
+__all__ = ["ModelSpec", "full_spec", "mini_config", "zoo_config",
+           "MODEL_NAMES", "ZOO_SIZES", "TABLE3_REFERENCE"]
 
 MODEL_NAMES = ("A1", "A2", "A3", "F1")
+
+# Size tiers of the serving-zoo configs (multi-tenant fleet studies).
+ZOO_SIZES = ("small", "medium", "large")
 
 # Table 3 of the paper, verbatim: the reference the synthesized specs are
 # validated against (see tests/test_models_zoo.py).
@@ -180,3 +183,29 @@ def mini_config(name: str, scale: int = 512, num_tables: int = 8,
         tables=tables,
         top_mlp=tuple([hidden] * depth),
         project_features=heterogeneous_dims)
+
+
+def zoo_config(size: str, seed: int = 0) -> DLRMConfig:
+    """A size-tiered zoo member for multi-tenant serving studies.
+
+    The tenancy benchmarks need co-hosted models of *different* weights
+    classes — the paper's production reality where F-family and A-family
+    models share infrastructure. Three tiers, each a :func:`mini_config`
+    of the matching Table 3 family:
+
+    * ``small`` — F1 shape (few tables, shallow MLP): the cheap,
+      latency-critical tenant;
+    * ``medium`` — A1 shape: the mid-weight tenant;
+    * ``large`` — A3 shape with heterogeneous dims: the heavy tenant
+      whose batches head-of-line block a naive shared fleet.
+    """
+    if size not in ZOO_SIZES:
+        raise ValueError(f"unknown zoo size {size!r}; expected {ZOO_SIZES}")
+    if size == "small":
+        return mini_config("F1", scale=256, num_tables=4, embedding_dim=8,
+                           seed=seed)
+    if size == "medium":
+        return mini_config("A1", scale=512, num_tables=8, embedding_dim=16,
+                           seed=seed)
+    return mini_config("A3", scale=1024, num_tables=12, embedding_dim=24,
+                       seed=seed, heterogeneous_dims=True)

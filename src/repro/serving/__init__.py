@@ -20,7 +20,8 @@ recurrent trainer exists to keep a serving fleet fresh, and
 """
 
 from .batcher import (ADMISSION_KINDS, BatchingPolicy, BatchPlan,
-                      InferenceRequest, MicroBatcher, ScheduledBatch)
+                      InferenceRequest, MicroBatcher, MultiTenantBatcher,
+                      ScheduledBatch)
 from .export import FreezeConfig, ServableModel, freeze
 from .loadgen import (ARRIVAL_STREAM, ROUTER_STREAM, USER_STREAM,
                       LoadReport, PoissonLoadGen, requests_from_arrivals,
@@ -38,6 +39,7 @@ __all__ = [
     "ScheduledBatch",
     "BatchPlan",
     "MicroBatcher",
+    "MultiTenantBatcher",
     "ServingPerfModel",
     "InferenceServer",
     "RequestOutcome",

@@ -31,12 +31,13 @@ reproducible and the hypothesis fuzz meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..data.datagen import MiniBatch
 
 __all__ = ["ADMISSION_KINDS", "BatchingPolicy", "InferenceRequest",
-           "ScheduledBatch", "BatchPlan", "MicroBatcher"]
+           "ScheduledBatch", "BatchPlan", "MicroBatcher",
+           "MultiTenantBatcher"]
 
 
 ADMISSION_KINDS = ("depth", "predicted")
@@ -84,13 +85,15 @@ class InferenceRequest:
 
     ``user_id`` tags the originating user when the trace comes from a
     Zipf user population (fleet traffic); ``None`` for anonymous
-    flat-Poisson traces.
+    flat-Poisson traces. ``tenant`` names the model the request targets
+    on a multi-tenant fleet (``None`` on single-model paths).
     """
 
     request_id: int
     arrival_s: float
     batch: MiniBatch
     user_id: Optional[int] = None
+    tenant: Optional[str] = None
 
     @property
     def num_samples(self) -> int:
@@ -234,6 +237,24 @@ class MicroBatcher:
                 queue.append(r)
         return plan
 
+    @staticmethod
+    def predicted_completion(policy: BatchingPolicy,
+                             queue: List[InferenceRequest],
+                             r: InferenceRequest, server_free: float,
+                             service_time: Callable[
+                                 [List[InferenceRequest]], float]) -> float:
+        """Earliest possible completion of ``r`` given ``queue`` —
+        work-conserving FIFO at full batch width from
+        ``max(server_free, arrival)``. Shared with the multi-tenant
+        batcher, whose per-tenant admission uses the same optimistic
+        bound (a tenant cannot see the other tenants' queues)."""
+        t = max(server_free, r.arrival_s)
+        prospective = queue + [r]
+        width = policy.max_batch_size
+        for start in range(0, len(prospective), width):
+            t += float(service_time(prospective[start:start + width]))
+        return t
+
     def _predicted_completion(self, queue: List[InferenceRequest],
                               r: InferenceRequest, server_free: float,
                               service_time: Callable[
@@ -247,9 +268,107 @@ class MicroBatcher:
         deadline means predicted admission never sheds a request the
         scheduler could still have saved.
         """
-        t = max(server_free, r.arrival_s)
-        prospective = queue + [r]
-        width = self.policy.max_batch_size
-        for start in range(0, len(prospective), width):
-            t += float(service_time(prospective[start:start + width]))
-        return t
+        return self.predicted_completion(self.policy, queue, r, server_free,
+                                         service_time)
+
+
+class MultiTenantBatcher:
+    """Per-tenant queues and admission over one shared server timeline.
+
+    Each tenant brings its own :class:`BatchingPolicy` (batch width, wait
+    bound, admission rule); batches never mix tenants because each tenant
+    targets a different :class:`~repro.serving.export.ServableModel`. The
+    shared part is the *server*: one device timeline serves every
+    tenant's dispatches, so a long batch from a heavy tenant delays
+    whoever triggers next — exactly the head-of-line blocking a naive
+    shared fleet exhibits, and what planner-partitioned replica subsets
+    avoid (:mod:`repro.fleet.tenancy`).
+
+    Dispatch rule: every queued tenant computes its trigger exactly as
+    :class:`MicroBatcher` would (full-batch arrival or oldest+max_wait);
+    the tenant with the *earliest trigger* (ties broken by name) cuts the
+    next batch at ``max(server_free, trigger)``. Admission is evaluated
+    against the arriving request's own tenant queue only — a tenant
+    cannot observe (or be shed because of) another tenant's backlog,
+    though its *latency* still pays for the shared timeline.
+    """
+
+    def __init__(self, policies: Dict[str, BatchingPolicy]) -> None:
+        if not policies:
+            raise ValueError("need at least one tenant policy")
+        self.policies = dict(policies)
+
+    def plan(self, requests: Sequence[InferenceRequest],
+             service_time: Callable[[str, List[InferenceRequest]], float]
+             ) -> Dict[str, BatchPlan]:
+        """Schedule a mixed-tenant arrival trace; ``service_time`` takes
+        ``(tenant, batch)`` so each tenant's model prices its own
+        dispatches. Returns one :class:`BatchPlan` per tenant."""
+        pending = sorted(requests,
+                         key=lambda r: (r.arrival_s, r.request_id))
+        seen = set()
+        for r in pending:
+            if r.tenant not in self.policies:
+                raise ValueError(
+                    f"request {r.request_id} targets unknown tenant "
+                    f"{r.tenant!r} (have {sorted(self.policies)})")
+            if r.request_id in seen:
+                raise ValueError(f"duplicate request id {r.request_id}")
+            seen.add(r.request_id)
+        plans = {name: BatchPlan() for name in self.policies}
+        queues: Dict[str, List[InferenceRequest]] = {
+            name: [] for name in self.policies}
+        server_free = 0.0
+        i = 0
+        n = len(pending)
+        while i < n or any(queues.values()):
+            next_arrival = pending[i].arrival_s if i < n else float("inf")
+            # the queued tenant with the earliest trigger cuts next
+            chosen: Optional[str] = None
+            chosen_trigger_s = float("inf")
+            chosen_trigger = ""
+            for name in sorted(queues):
+                queue = queues[name]
+                if not queue:
+                    continue
+                pol = self.policies[name]
+                if len(queue) >= pol.max_batch_size:
+                    trigger_s = queue[pol.max_batch_size - 1].arrival_s
+                    trigger = "full"
+                else:
+                    trigger_s = queue[0].arrival_s + pol.max_wait_s
+                    trigger = "deadline" if i < n else "drain"
+                if trigger_s < chosen_trigger_s:
+                    chosen, chosen_trigger_s = name, trigger_s
+                    chosen_trigger = trigger
+            if chosen is not None:
+                dispatch = max(server_free, chosen_trigger_s)
+                if dispatch <= next_arrival:
+                    pol = self.policies[chosen]
+                    queue = queues[chosen]
+                    batch = queue[:pol.max_batch_size]
+                    del queue[:pol.max_batch_size]
+                    svc = float(service_time(chosen, batch))
+                    if svc < 0:
+                        raise ValueError("service_time must be >= 0")
+                    plans[chosen].batches.append(ScheduledBatch(
+                        requests=batch, dispatch_s=dispatch,
+                        completion_s=dispatch + svc, trigger=chosen_trigger))
+                    server_free = dispatch + svc
+                    continue
+            # admit (or shed) the next arrival into its tenant's queue
+            r = pending[i]
+            i += 1
+            pol = self.policies[r.tenant]
+            queue = queues[r.tenant]
+            if len(queue) >= pol.max_queue_depth:
+                plans[r.tenant].shed.append(r)
+            elif pol.admission == "predicted" and \
+                    MicroBatcher.predicted_completion(
+                        pol, queue, r, server_free,
+                        lambda batch: service_time(r.tenant, batch)) \
+                    > r.arrival_s + pol.deadline_s:
+                plans[r.tenant].shed.append(r)
+            else:
+                queue.append(r)
+        return plans

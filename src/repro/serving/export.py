@@ -26,7 +26,6 @@ frozen model raises instead of silently corrupting the serving fleet.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -37,7 +36,7 @@ from ..cache import CACHE_KINDS, ArrayBackingStore, make_cache
 from ..data.datagen import MiniBatch
 from ..data.freq import FrequencyStats
 from ..embedding import (EmbeddingTable, FusedEmbeddingCollection,
-                         lengths_to_offsets)
+                         TTEmbeddingTable, lengths_to_offsets)
 from ..embedding.dedup import dedup_cache_read, dedup_forward
 from ..embedding.kernels import segment_sum
 from ..models.dlrm import DLRM, DLRMConfig
@@ -64,8 +63,9 @@ class FreezeConfig:
     :mod:`repro.embedding.dedup` so each unique id in a dispatch pays one
     arena/cache read (bitwise identical output).
 
-    ``cache_rows_fraction`` and ``cache_ways`` are the deprecated
-    pre-protocol spellings; they still work but warn.
+    The pre-RowCache spellings ``cache_rows_fraction=`` and
+    ``cache_ways=`` were removed after their deprecation window; pass
+    ``cache_fraction=`` / ``cache_config={'ways': ...}``.
     """
 
     precision: str = "fp32"
@@ -74,25 +74,8 @@ class FreezeConfig:
     cache_fraction: float = 0.25
     cache_config: Optional[Dict] = None
     dedup: bool = True
-    # deprecated pre-RowCache spellings (fold into the fields above)
-    cache_rows_fraction: Optional[float] = None
-    cache_ways: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.cache_rows_fraction is not None:
-            warnings.warn(
-                "FreezeConfig(cache_rows_fraction=...) is deprecated; "
-                "pass cache_fraction=...", DeprecationWarning, stacklevel=3)
-            object.__setattr__(self, "cache_fraction",
-                               self.cache_rows_fraction)
-        if self.cache_ways is not None:
-            warnings.warn(
-                "FreezeConfig(cache_ways=...) is deprecated; pass "
-                "cache_config={'ways': ...}", DeprecationWarning,
-                stacklevel=3)
-            cache_config = dict(self.cache_config or {})
-            cache_config.setdefault("ways", self.cache_ways)
-            object.__setattr__(self, "cache_config", cache_config)
         if self.precision not in _EMB_BYTES:
             raise ValueError(
                 f"precision must be one of {sorted(_EMB_BYTES)}, "
@@ -168,6 +151,44 @@ class _ColdTable:
         return out
 
 
+class _TTServingTable:
+    """Forward-only pooled lookup over frozen TT cores.
+
+    The representation planner may assign a table the ``tt`` path: the
+    trained fp32 weight is TT-SVD-decomposed at freeze time
+    (:meth:`repro.embedding.TTEmbeddingTable.from_weight`) and rows are
+    re-materialized per lookup from the read-only cores — trading
+    contraction FLOPs for an order-of-magnitude storage cut.
+    """
+
+    def __init__(self, name: str, weight: np.ndarray, pooling_mode: str,
+                 ranks) -> None:
+        self.name = name
+        self.pooling_mode = pooling_mode
+        self.table = TTEmbeddingTable.from_weight(name, weight, ranks=ranks)
+        for core in self.table.cores:
+            core.flags.writeable = False
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(sum(c.nbytes for c in self.table.cores))
+
+    def max_error(self, weight: np.ndarray) -> float:
+        """Measured max |fp32 - materialized| against the source weight."""
+        if not weight.size:
+            return 0.0
+        return float(np.max(np.abs(weight - self.table.materialize())))
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        out = self.table.forward(np.asarray(indices, dtype=np.int64),
+                                 offsets)
+        if self.pooling_mode == "mean":
+            lengths = np.diff(offsets)
+            out /= np.maximum(lengths, 1).astype(np.float32)[:, None]
+        return out
+
+
 def _quantize_weight(weight: np.ndarray, precision: str) -> np.ndarray:
     if precision == "fp32":
         return weight.astype(np.float32)
@@ -207,6 +228,11 @@ class ServableModel:
     dedup: bool = True
     dedup_rows_requested: int = 0
     dedup_rows_read: int = 0
+    # plan-aware artifacts: TT-compressed tables, the per-table kind map
+    # and the per-table stored bytes (uniform exports leave these empty)
+    tt_tables: Dict[str, _TTServingTable] = field(default_factory=dict)
+    representation: Dict[str, str] = field(default_factory=dict)
+    table_storage_bytes: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -217,13 +243,21 @@ class ServableModel:
     def cold_table_names(self) -> List[str]:
         return sorted(self.cold_tables)
 
+    @property
+    def tt_table_names(self) -> List[str]:
+        return sorted(self.tt_tables)
+
     def max_quantization_error(self) -> float:
         """Largest per-element |fp32 - stored| across all tables."""
         return max(self.quantization_error.values(), default=0.0)
 
     def embedding_storage_bytes(self) -> int:
-        """Low-precision serving footprint of the embedding tables
-        (int8 includes the per-row float32 scale/offset pair)."""
+        """Serving footprint of the embedding tables. Plan-aware exports
+        sum the per-table stored bytes the plan chose; uniform exports
+        use the single storage precision (int8 includes the per-row
+        float32 scale/offset pair)."""
+        if self.table_storage_bytes:
+            return int(sum(self.table_storage_bytes.values()))
         per_element = _EMB_BYTES[self.precision]
         total = 0
         for t in self.config.tables:
@@ -256,6 +290,9 @@ class ServableModel:
         for name, table in self.cold_tables.items():
             indices, offsets = batch.sparse[name]
             pooled[name] = table.forward(indices, offsets)
+        for name, tt_table in self.tt_tables.items():
+            indices, offsets = batch.sparse[name]
+            pooled[name] = tt_table.forward(indices, offsets)
         return pooled
 
     def forward(self, batch: MiniBatch) -> np.ndarray:
@@ -289,8 +326,8 @@ def _freeze_array(a: np.ndarray) -> np.ndarray:
 
 def freeze(source, config: Optional[FreezeConfig] = None,
            step: Optional[int] = None,
-           frequency_stats: Optional[FrequencyStats] = None
-           ) -> ServableModel:
+           frequency_stats: Optional[FrequencyStats] = None,
+           plan=None) -> ServableModel:
     """Snapshot a trainer or reference model into a :class:`ServableModel`.
 
     ``source`` is a :class:`repro.core.NeoTrainer` (exported via its
@@ -306,6 +343,17 @@ def freeze(source, config: Optional[FreezeConfig] = None,
     and cold-tier caches that support histogram warm-up (the
     ``freq_aware`` kind) are pre-packed with each table's hottest rows
     before the artifact serves its first request.
+
+    ``plan`` is a :class:`repro.planner.RepresentationPlan`: instead of
+    one uniform storage precision and budget-driven hot/cold packing,
+    each table takes the representation the planner assigned it —
+    ``full``/``fp16``/``bf16``/``int8`` arena-resident, ``tt``
+    (TT-SVD-compressed cores), or ``cold`` (exact fp32 behind the
+    software cache). With a plan, ``cfg.precision`` and
+    ``cfg.hot_bytes`` are ignored (the plan already made those calls)
+    while the cache knobs still shape the cold tier; the artifact's
+    ``precision`` reads ``"mixed"`` and per-table stored bytes land in
+    ``table_storage_bytes``.
     """
     cfg = config if config is not None else FreezeConfig()
     if step is None:
@@ -335,6 +383,10 @@ def freeze(source, config: Optional[FreezeConfig] = None,
     dst_params += top.parameters()
     for dst, src in zip(dst_params, model.dense_parameters()):
         dst.data = _freeze_array(src.data.copy())
+
+    if plan is not None:
+        return _freeze_planned(model, cfg, plan, step, frequency_stats,
+                               bottom, top, projections)
 
     # embeddings: quantize at freeze time, then place hot/cold
     quantized: Dict[str, np.ndarray] = {}
@@ -396,3 +448,75 @@ def freeze(source, config: Optional[FreezeConfig] = None,
         interaction=dlrm_config.make_interaction(), projections=projections,
         hot_tables=hot_collection, cold_tables=cold,
         quantization_error=errors, source_step=step, dedup=cfg.dedup)
+
+
+def _freeze_planned(model: DLRM, cfg: FreezeConfig, plan, step: int,
+                    frequency_stats: Optional[FrequencyStats],
+                    bottom: nn.MLP, top: nn.MLP,
+                    projections: Dict[str, nn.Linear]) -> ServableModel:
+    """Place each table per a :class:`repro.planner.RepresentationPlan`
+    (duck-typed: anything with an ``assignments`` name->assignment map
+    carrying ``kind``/``tt_ranks`` works, so serving never imports the
+    planner package)."""
+    dlrm_config = model.config
+    assignments = plan.assignments
+    missing = [t.name for t in dlrm_config.tables
+               if t.name not in assignments]
+    if missing:
+        raise ValueError(f"plan has no assignment for tables {missing}")
+
+    hot: List[EmbeddingTable] = []
+    cold: Dict[str, _ColdTable] = {}
+    tt_tables: Dict[str, _TTServingTable] = {}
+    errors: Dict[str, float] = {}
+    representation: Dict[str, str] = {}
+    table_bytes: Dict[str, int] = {}
+    for t in dlrm_config.tables:
+        weight = model.embeddings.table(t.name).weight
+        assignment = assignments[t.name]
+        kind = assignment.kind
+        representation[t.name] = kind
+        if kind in ("full", "fp16", "bf16", "int8"):
+            precision = "fp32" if kind == "full" else kind
+            q = _quantize_weight(weight, precision)
+            errors[t.name] = float(np.max(np.abs(weight - q))) \
+                if weight.size else 0.0
+            hot.append(EmbeddingTable(t, weight=q))
+            table_bytes[t.name] = t.num_parameters * _EMB_BYTES[precision]
+            if kind == "int8":
+                table_bytes[t.name] += t.num_embeddings * 8
+        elif kind == "tt":
+            ranks = assignment.tt_ranks or (8, 8)
+            tt = _TTServingTable(t.name, weight, t.pooling_mode, ranks)
+            errors[t.name] = tt.max_error(weight)
+            tt_tables[t.name] = tt
+            table_bytes[t.name] = tt.storage_bytes
+        elif kind == "cold":
+            cold[t.name] = _ColdTable(
+                t.name, _freeze_array(weight.copy()), t.pooling_mode,
+                cfg.cache_kind, cfg.cache_fraction, cfg.cache_config,
+                dedup=cfg.dedup)
+            if frequency_stats is not None:
+                cold[t.name].warm(frequency_stats.histogram(
+                    t.name, t.num_embeddings))
+            errors[t.name] = 0.0
+            table_bytes[t.name] = t.num_parameters * 4
+        else:
+            raise ValueError(
+                f"plan assigns table {t.name!r} unknown kind {kind!r}")
+
+    hot_collection = None
+    if hot:
+        hot_collection = FusedEmbeddingCollection(hot, fusion="arena")
+        for group in hot_collection.arena.groups:
+            group.storage.flags.writeable = False
+            for view in group.views:
+                view.flags.writeable = False
+
+    return ServableModel(
+        config=dlrm_config, precision="mixed", bottom=bottom, top=top,
+        interaction=dlrm_config.make_interaction(), projections=projections,
+        hot_tables=hot_collection, cold_tables=cold,
+        quantization_error=errors, source_step=step, dedup=cfg.dedup,
+        tt_tables=tt_tables, representation=representation,
+        table_storage_bytes=table_bytes)

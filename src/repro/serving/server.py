@@ -42,7 +42,10 @@ __all__ = ["ServingPerfModel", "RequestOutcome", "ServeResult",
            "InferenceServer"]
 
 _EMB_LOOKUP_PRECISION = {"fp32": "fp32", "fp16": "fp16", "bf16": "fp16",
-                         "int8": "fp16"}  # bandwidth class of row reads
+                         "int8": "fp16",  # bandwidth class of row reads
+                         # plan-mixed artifacts: most bytes sit in the
+                         # compressed representations, price as fp16
+                         "mixed": "fp16"}
 
 
 @dataclass(frozen=True)

@@ -59,7 +59,8 @@ def tiny_dataset(config: DLRMConfig, seed: int = 0,
 
 def tiny_trainer(config: DLRMConfig, world: int = 2, seed: int = 0,
                  pg_factory=None, lr: float = 0.1, momentum: float = 0.0,
-                 scheme: str = "parity") -> NeoTrainer:
+                 scheme: str = "parity",
+                 representation_plan=None) -> NeoTrainer:
     """A NeoTrainer over ``world`` simulated ranks.
 
     ``scheme`` picks the sharding style:
@@ -88,7 +89,8 @@ def tiny_trainer(config: DLRMConfig, world: int = 2, seed: int = 0,
         config, plan, ClusterTopology(num_nodes=1, gpus_per_node=world),
         dense_optimizer=lambda p: nn.SGD(p, lr=lr, momentum=momentum),
         sparse_optimizer=SparseSGD(lr=lr), seed=seed,
-        process_group_factory=pg_factory)
+        process_group_factory=pg_factory,
+        representation_plan=representation_plan)
 
 
 @dataclass

@@ -129,7 +129,8 @@ class TestSetAssociativeCache:
             SetAssociativeCache(capacity_rows=128, row_dim=4, policy="fifo")
         with pytest.raises(TypeError):
             SetAssociativeCache(row_dim=4)  # no sizing at all
-        with pytest.raises(ValueError):
+        with pytest.raises(TypeError):
+            # pre-protocol geometry sizing was removed
             SetAssociativeCache(num_sets=4, row_dim=4, capacity_rows=128)
 
     @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,

@@ -170,15 +170,13 @@ class TestMakeCache:
             CachedEmbeddingTable(cfg, "freq_aware")  # no capacity
 
 
-class TestDeprecationShims:
-    def test_num_sets_constructor_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="num_sets"):
-            cache = SetAssociativeCache(num_sets=4, row_dim=D, ways=2)
-        assert cache.capacity_rows == 8
-        backing = make_backing()
-        ids = np.array([3, 3], dtype=np.int64)
-        np.testing.assert_array_equal(cache.read(ids, backing),
-                                      backing.rows[ids])
+class TestRemovedShims:
+    """The pre-protocol constructor shims were removed after their
+    deprecation window — the old keywords now raise ``TypeError``."""
+
+    def test_num_sets_constructor_removed(self):
+        with pytest.raises(TypeError):
+            SetAssociativeCache(num_sets=4, row_dim=D, ways=2)
 
     def test_canonical_form_does_not_warn(self):
         import warnings
@@ -186,15 +184,13 @@ class TestDeprecationShims:
             warnings.simplefilter("error")
             SetAssociativeCache(capacity_rows=8, row_dim=D, ways=2)
 
-    def test_freeze_config_cache_rows_fraction_warns(self):
-        with pytest.warns(DeprecationWarning, match="cache_rows_fraction"):
-            cfg = FreezeConfig(cache_rows_fraction=0.5)
-        assert cfg.cache_fraction == 0.5
+    def test_freeze_config_cache_rows_fraction_removed(self):
+        with pytest.raises(TypeError):
+            FreezeConfig(cache_rows_fraction=0.5)
 
-    def test_freeze_config_cache_ways_warns(self):
-        with pytest.warns(DeprecationWarning, match="cache_ways"):
-            cfg = FreezeConfig(cache_ways=8)
-        assert cfg.cache_config == {"ways": 8}
+    def test_freeze_config_cache_ways_removed(self):
+        with pytest.raises(TypeError):
+            FreezeConfig(cache_ways=8)
 
     def test_freeze_config_validates_kind(self):
         with pytest.raises(ValueError):

@@ -1,8 +1,9 @@
 """API-stability tests for the comms v2 surface.
 
-Deprecated pre-v2 forms (string AlltoAll dispatch, old perf-model
-names) must keep working — with a DeprecationWarning — and produce
-results identical to the v2 forms. Plus golden wire-byte values
+The removed pre-v2 forms (string AlltoAll dispatch) must raise;
+the surviving deprecated perf-model name aliases must keep working —
+with a DeprecationWarning — and produce results identical to the v2
+forms. Plus golden wire-byte values
 proving the nbytes billing fix: fp16 payloads are billed at 2
 bytes/element, never a hard-coded 4.
 """
@@ -22,45 +23,34 @@ def _alltoall_payload(dtype=np.float32):
             for r in range(WORLD)]
 
 
-class TestDeprecatedAlltoAllForms:
-    def test_direction_keyword_warns_and_matches_kind(self):
-        pg_old, pg_new = SimProcessGroup(TOPO), SimProcessGroup(TOPO)
-        with pytest.warns(DeprecationWarning,
-                          match="direction=.*is deprecated"):
-            old = pg_old.all_to_all(_alltoall_payload(),
-                                    direction="forward_alltoall")
-        new = pg_new.all_to_all(_alltoall_payload(),
-                                kind=AlltoAllKind.FORWARD)
-        for a, b in zip(old, new):
-            np.testing.assert_array_equal(a, b)
-        assert old.wire_bytes == new.wire_bytes
-        assert old.modeled_seconds == new.modeled_seconds
-        assert pg_old.log.wire_bytes == pg_new.log.wire_bytes
+class TestRemovedAlltoAllForms:
+    """The pre-v2 string dispatch was removed after its deprecation
+    window: ``direction=`` is no longer a parameter and string kinds
+    raise instead of warning."""
 
-    def test_string_kind_warns_and_matches_enum(self):
-        pg_old, pg_new = SimProcessGroup(TOPO), SimProcessGroup(TOPO)
-        with pytest.warns(DeprecationWarning,
-                          match="string AlltoAll dispatch"):
-            old = pg_old.all_to_all(_alltoall_payload(), "backward_alltoall")
-        new = pg_new.all_to_all(_alltoall_payload(),
-                                kind=AlltoAllKind.BACKWARD)
-        assert old.collective == new.collective == \
-            "all_to_all/backward_alltoall"
-        assert old.wire_bytes == new.wire_bytes
+    def test_direction_keyword_removed(self):
+        pg = SimProcessGroup(TOPO)
+        with pytest.raises(TypeError):
+            pg.all_to_all(_alltoall_payload(),
+                          direction="forward_alltoall")
 
-    def test_every_direction_string_maps_to_its_enum(self):
+    def test_string_kind_removed(self):
+        pg = SimProcessGroup(TOPO)
+        with pytest.raises(ValueError, match="removed after its"):
+            pg.all_to_all(_alltoall_payload(), "backward_alltoall")
+
+    def test_every_enum_kind_still_dispatches(self):
         for kind in AlltoAllKind:
             pg = SimProcessGroup(TOPO)
-            with pytest.warns(DeprecationWarning):
-                result = pg.all_to_all(_alltoall_payload(),
-                                       direction=kind.value)
+            payload = _alltoall_payload(
+                np.int64 if kind is AlltoAllKind.INDEX else np.float32)
+            result = pg.all_to_all(payload, kind=kind)
             assert result.collective == f"all_to_all/{kind.value}"
 
-    def test_unknown_direction_still_rejected(self):
+    def test_unknown_string_rejected(self):
         pg = SimProcessGroup(TOPO)
-        with pytest.warns(DeprecationWarning), \
-                pytest.raises(ValueError, match="unknown direction"):
-            pg.all_to_all(_alltoall_payload(), direction="sideways")
+        with pytest.raises(ValueError):
+            pg.all_to_all(_alltoall_payload(), "sideways")
 
 
 class TestDeprecatedPerfModelNames:

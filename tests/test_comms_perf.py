@@ -143,11 +143,11 @@ class TestSimProcessGroup:
         out = pg.all_to_all(inputs, kind=AlltoAllKind.INDEX)
         assert out[0][0][0] == 123456789
 
-    def test_unknown_direction_raises(self):
+    def test_unknown_kind_raises(self):
         pg = self.make_pg()
         inputs = [[np.zeros(1) for _ in range(4)] for _ in range(4)]
-        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
-            pg.all_to_all(inputs, direction="sideways")
+        with pytest.raises(ValueError):
+            pg.all_to_all(inputs, "sideways")
 
     def test_reduce_scatter_and_gather(self):
         pg = self.make_pg()

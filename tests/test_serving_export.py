@@ -12,7 +12,7 @@ import pytest
 
 from repro import nn
 from repro.embedding import SparseSGD
-from repro.models import DLRM
+from repro.models import DLRM, ZOO_SIZES, zoo_config
 from repro.serving import FreezeConfig, ServableModel, freeze
 
 from .helpers import tiny_config, tiny_dataset, tiny_trainer
@@ -77,6 +77,40 @@ class TestFp32Parity:
         logits = servable.forward(batch)
         np.testing.assert_allclose(servable.predict(batch),
                                    1.0 / (1.0 + np.exp(-logits)), rtol=1e-6)
+
+
+class TestZooRoundTrip:
+    """Every serving-zoo tier must freeze and serve bitwise-identically
+    to its source model — the invariant the multi-tenant fleet builds
+    on (one frozen artifact per tenant, no tier-specific drift)."""
+
+    @pytest.mark.parametrize("size", ZOO_SIZES)
+    def test_zoo_config_freeze_forward_bitwise(self, size):
+        config = zoo_config(size)
+        model = DLRM(config, seed=11)
+        servable = freeze(model)
+        batch = tiny_dataset(config, seed=3).batch(16, 2)
+        np.testing.assert_array_equal(servable.forward(batch),
+                                      model.forward(batch))
+        # round-trip bookkeeping: fp32 artifact, every table hot
+        assert servable.precision == "fp32"
+        assert not servable.cold_table_names
+
+    @pytest.mark.parametrize("size", ZOO_SIZES)
+    def test_zoo_config_is_trainable_shape(self, size):
+        config = zoo_config(size)
+        assert len(config.tables) >= 2
+        assert all(t.num_embeddings <= 2048 for t in config.tables)
+
+    def test_zoo_sizes_are_ordered_by_cost(self):
+        params = [sum(t.num_parameters for t in zoo_config(s).tables)
+                  for s in ZOO_SIZES]
+        assert params == sorted(params)
+        assert params[0] < params[-1]
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            zoo_config("huge")
 
 
 class TestQuantizedFreeze:
